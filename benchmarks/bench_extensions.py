@@ -1,0 +1,79 @@
+"""Benchmarks of the Section VIII future-work extensions.
+
+* **Contact uncertainty** — feasibility rate and cost escalation as contact
+  availability drops (non-deterministic TVGs).
+* **Interference** — delivery impact of the protocol-model collision option
+  on the schedules the paper's algorithms emit (EEDCB's lean tree has few
+  simultaneous same-neighborhood transmissions; flooding baselines have
+  more).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_scheduler
+from repro.errors import InfeasibleError
+from repro.sim import run_trials
+from repro.temporal import ProbabilisticTVG, schedule_robustness
+from repro.temporal.reachability import broadcast_feasible_sources
+from repro.traces import HaggleLikeConfig, haggle_like_trace
+from repro.tveg import tveg_from_trace
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_uncertainty_robustness(benchmark):
+    trace = haggle_like_trace(HaggleLikeConfig(num_nodes=15), seed=13)
+    window = trace.restrict_window(9000.0, 11000.0).shift(-9000.0)
+
+    def run():
+        out = {}
+        for availability in (1.0, 0.6, 0.3):
+            ptvg = ProbabilisticTVG.from_trace(window, availability=availability)
+            report = schedule_robustness(
+                ptvg, 0, 2000.0, realizations=15, seed=42
+            )
+            out[availability] = report
+        return out
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nUncertainty ablation:")
+    for availability, report in reports.items():
+        print(
+            f"  availability {availability:.1f}: rate "
+            f"{report.feasibility_rate:.2f}, mean cost {report.mean_cost:.3g}"
+        )
+    # certain contacts must always be schedulable; rate never increases as
+    # availability drops, and surviving plans get more expensive
+    assert reports[1.0].feasibility_rate == 1.0
+    assert reports[0.3].feasibility_rate <= reports[1.0].feasibility_rate
+    if reports[0.3].costs:
+        assert reports[0.3].mean_cost >= reports[1.0].mean_cost
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_interference_delivery_impact(benchmark):
+    trace = haggle_like_trace(HaggleLikeConfig(num_nodes=15), seed=29)
+    window = trace.restrict_window(9000.0, 11000.0).shift(-9000.0)
+    fading = tveg_from_trace(window, "rayleigh", seed=6)
+    sources = sorted(broadcast_feasible_sources(fading.tvg, 0.0, 2000.0))
+    assert sources
+    source = sources[0]
+
+    def run():
+        out = {}
+        for name in ("fr-eedcb", "fr-greed"):
+            schedule = make_scheduler(name).schedule(fading, source, 2000.0)
+            none = run_trials(fading, schedule, source, 120, seed=3)
+            coll = run_trials(
+                fading, schedule, source, 120, seed=3, interference="collision"
+            )
+            out[name] = (none.mean_delivery, coll.mean_delivery)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nInterference ablation (delivery none → collision):")
+    for name, (none, coll) in results.items():
+        print(f"  {name}: {none:.3f} → {coll:.3f}")
+    for name, (none, coll) in results.items():
+        assert coll <= none + 1e-9  # collisions never help
+        assert none > 0.9           # the paper model delivers ≈ 1 − ε

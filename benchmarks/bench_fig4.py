@@ -1,0 +1,55 @@
+"""Fig. 4 — delay–energy tradeoff of EEDCB / FR-EEDCB (both panels).
+
+Regenerates the normalized-energy-vs-delay series for several network sizes
+and checks the paper's two qualitative claims: energy falls as the delay
+constraint loosens, and grows with N.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import print_sweep, run_fig4
+
+from .conftest import BENCH_CONFIG, assert_mostly_decreasing, finite
+
+NODE_COUNTS = (10, 20)
+#: coarser than BENCH_DELAYS — the N=20 long-delay points dominate suite
+#: runtime; endpoints and two interior points suffice for the trend checks
+FIG4_DELAYS = (2000.0, 3000.0, 4500.0, 6000.0)
+
+
+def _run(channel):
+    return run_fig4(
+        channel, BENCH_CONFIG, delays=FIG4_DELAYS, node_counts=NODE_COUNTS
+    )
+
+
+def _check(result):
+    # energy ↓ with delay constraint — FR allocation totals vary several-fold
+    # between windows, so at bench scale (3 windows per point) the trend is
+    # asserted on the per-delay mean POOLED across the N series; the strict
+    # per-curve claim is checked at documentation scale (EXPERIMENTS.md).
+    pooled = [
+        np.nanmean([result.series[name][i] for name in result.series])
+        for i in range(len(result.x_values))
+    ]
+    assert_mostly_decreasing(pooled)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_static(benchmark):
+    result = benchmark.pedantic(_run, args=("static",), rounds=1, iterations=1)
+    print_sweep(result)
+    _check(result)
+    # energy ↑ with N: stable for the static scheduler (per-node costs add);
+    # for FR the NLP's overlap savings make this untestable at bench scale
+    # (asserted at documentation scale instead — see EXPERIMENTS.md).
+    means = [np.nanmean(result.series[f"N={n}"]) for n in NODE_COUNTS]
+    assert means[-1] > 0.8 * means[0], f"gross N-ordering inversion: {means}"
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_fading(benchmark):
+    result = benchmark.pedantic(_run, args=("rayleigh",), rounds=1, iterations=1)
+    print_sweep(result)
+    _check(result)

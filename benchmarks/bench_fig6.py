@@ -1,0 +1,52 @@
+"""Fig. 6 — energy and delivery vs N, everything executed under fading.
+
+The paper's qualitative result this bench pins down:
+
+* delivery: FR-* ≈ 1.0 at every size; the static trio loses roughly a third
+  of the nodes around N = 20 and degrades as N grows;
+* energy: the FR variants pay a substantial premium over their static
+  counterparts, and within each family EEDCB ≤ GREED/RAND.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import print_sweep, run_fig6
+
+from .conftest import BENCH_CONFIG
+
+NODE_COUNTS = (10, 15, 20)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_energy_and_delivery(benchmark):
+    energy, delivery = benchmark.pedantic(
+        run_fig6, args=(BENCH_CONFIG, NODE_COUNTS), rounds=1, iterations=1
+    )
+    print_sweep(energy)
+    print_sweep(delivery)
+
+    # FR trio delivers ≈ fully at every N.
+    for algo in ("FR-EEDCB", "FR-GREED", "FR-RAND"):
+        for v in delivery.series[algo]:
+            if not np.isnan(v):
+                assert v > 0.93, (algo, delivery.series[algo])
+
+    # Static trio loses a sizeable share of nodes under fading.
+    for algo in ("EEDCB", "GREED", "RAND"):
+        vals = [v for v in delivery.series[algo] if not np.isnan(v)]
+        assert vals and np.mean(vals) < 0.9, (algo, vals)
+
+    # Static trio delivery worsens (or at best stagnates) as N grows.
+    eedcb = [v for v in delivery.series["EEDCB"] if not np.isnan(v)]
+    assert eedcb[-1] <= eedcb[0] + 0.05
+
+    # Energy: fading-aware costs more than the matching static algorithm.
+    for fr, plain in (("FR-EEDCB", "EEDCB"), ("FR-GREED", "GREED"), ("FR-RAND", "RAND")):
+        fr_mean = np.nanmean(energy.series[fr])
+        plain_mean = np.nanmean(energy.series[plain])
+        assert fr_mean > plain_mean
+
+    # Within each family the optimizer is cheapest on average.
+    assert np.nanmean(energy.series["EEDCB"]) <= np.nanmean(energy.series["GREED"])
+    assert np.nanmean(energy.series["FR-EEDCB"]) <= np.nanmean(energy.series["FR-GREED"])

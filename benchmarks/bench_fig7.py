@@ -1,0 +1,53 @@
+"""Fig. 7 — energy consumption and average node degree over time.
+
+Every 500 s (coarsened to 1000 s here) a broadcast window opens; the bench
+checks the anti-correlation the paper highlights: as the trace's warm-up
+ramp raises the average degree, broadcast energy falls, and both flatten
+after the ramp.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import print_sweep, run_fig7
+
+from .conftest import BENCH_CONFIG
+
+WINDOW_STARTS = tuple(float(t) for t in range(5000, 15001, 1000))
+
+
+def _check(result):
+    degrees = np.array(result.series["avg degree"], dtype=float)
+    # the ramp: degree at the start of the window range well below the
+    # post-ramp plateau
+    assert degrees[0] < 0.8 * np.mean(degrees[4:])
+    # energy anti-correlates with the ramp: windows opening during the ramp
+    # (the first 3) must on average cost more than post-ramp windows, for a
+    # majority of the algorithms (per-series noise at bench scale is large).
+    algos = [name for name in result.series if name != "avg degree"]
+    drops = 0
+    for algo in algos:
+        energy = np.array(result.series[algo], dtype=float)
+        ramp = np.nanmean(energy[:3])
+        plateau = np.nanmean(energy[4:])
+        if ramp > plateau:
+            drops += 1
+    assert drops >= 2, f"energy did not fall past the ramp for {algos}"
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_static(benchmark):
+    result = benchmark.pedantic(
+        run_fig7, args=("static", BENCH_CONFIG, WINDOW_STARTS), rounds=1, iterations=1
+    )
+    print_sweep(result)
+    _check(result)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_fading(benchmark):
+    result = benchmark.pedantic(
+        run_fig7, args=("rayleigh", BENCH_CONFIG, WINDOW_STARTS), rounds=1, iterations=1
+    )
+    print_sweep(result)
+    _check(result)

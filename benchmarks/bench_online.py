@@ -1,0 +1,60 @@
+"""Online protocols vs the offline optimum (the clairvoyance gap).
+
+Not a paper figure — a positioning benchmark: the paper's offline EEDCB is
+only meaningful against what a deployed (online) network could do, so this
+bench pins the qualitative relations: the offline optimum spends the least
+energy; epidemic attains the foremost-journey latency envelope; token
+budgets trade delivery/latency for energy.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms import make_scheduler
+from repro.errors import InfeasibleError
+from repro.online import Epidemic, Gossip, SprayAndWait, run_online_trials
+from repro.temporal.reachability import broadcast_feasible_sources
+from repro.traces import HaggleLikeConfig, haggle_like_trace
+from repro.tveg import tveg_from_trace
+
+
+@pytest.mark.benchmark(group="online")
+def test_online_vs_offline(benchmark):
+    trace = haggle_like_trace(HaggleLikeConfig(num_nodes=15), seed=17)
+    window = trace.restrict_window(10000.0, 12000.0).shift(-10000.0)
+    tveg = tveg_from_trace(window, "static", seed=2)
+    sources = sorted(broadcast_feasible_sources(tveg.tvg, 0.0, 2000.0))
+    assert sources
+    source = sources[0]
+
+    def run():
+        offline = make_scheduler("eedcb").schedule(tveg, source, 2000.0)
+        online = {
+            "epidemic": run_online_trials(
+                tveg, Epidemic(), source, 2000.0, num_trials=30, seed=3
+            ),
+            "gossip": run_online_trials(
+                tveg, Gossip(0.5), source, 2000.0, num_trials=30, seed=3
+            ),
+            "spray4": run_online_trials(
+                tveg, SprayAndWait(4), source, 2000.0, num_trials=30, seed=3
+            ),
+        }
+        return offline, online
+
+    offline, online = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nOnline vs offline (energy, delivery):")
+    print(f"  offline EEDCB : {offline.total_cost:.3g}, 1.000")
+    for name, s in online.items():
+        print(f"  {name:>13} : {s.mean_energy:.3g}, {s.mean_delivery:.3f}")
+
+    # clairvoyance never loses on energy
+    for name, s in online.items():
+        assert offline.total_cost <= s.mean_energy + 1e-18, name
+    # epidemic delivers at least as much as the throttled protocols
+    assert online["epidemic"].mean_delivery >= online["spray4"].mean_delivery - 1e-9
+    assert online["epidemic"].mean_delivery >= online["gossip"].mean_delivery - 1e-9
+    # and at no worse latency than the token-starved spray
+    if not math.isnan(online["spray4"].mean_latency):
+        assert online["epidemic"].mean_latency <= online["spray4"].mean_latency + 1e-9

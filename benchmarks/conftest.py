@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Figure benchmarks regenerate the paper's series at reduced scale so the
+whole suite finishes in minutes; run the ``repro.experiments.figN`` modules
+directly (or with ``FULL_CONFIG``) for paper-scale sweeps.  Each figure
+bench prints its ASCII table — running ``pytest benchmarks/
+--benchmark-only -s`` reproduces the evaluation's numbers on screen.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import ExperimentConfig
+
+#: reduced-scale preset used by every figure bench
+BENCH_CONFIG = ExperimentConfig(repetitions=3, trials=30, num_nodes=15)
+
+#: delay grid (coarser than the paper's 500 s steps, same endpoints)
+BENCH_DELAYS = (2000.0, 3000.0, 4000.0, 5000.0, 6000.0)
+
+
+def finite(values):
+    """The finite entries of a series (sampling may yield NaN points)."""
+    return [v for v in values if not math.isnan(v)]
+
+
+def assert_mostly_decreasing(values):
+    """Trend check robust to heavy-tailed sampling noise: the least-squares
+    slope must be negative AND the second half's mean must lie below the
+    first half's (single endpoint outliers don't flip either statistic)."""
+    import numpy as np
+
+    vs = finite(values)
+    assert len(vs) >= 2, "need at least two finite points"
+    slope = np.polyfit(range(len(vs)), vs, 1)[0]
+    assert slope < 0, f"upward trend (slope={slope:.3g}): {vs}"
+    half = len(vs) // 2
+    assert np.mean(vs[-half:]) < np.mean(vs[:half]), f"no net decrease: {vs}"

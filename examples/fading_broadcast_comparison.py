@@ -1,0 +1,76 @@
+"""Fading-environment comparison of all six paper algorithms (mini Fig. 6).
+
+The scenario the paper's introduction motivates: a delay-tolerant mobile
+network where links fade.  Algorithms that design for a static channel
+(EEDCB / GREED / RAND) spend less energy but silently lose packets once the
+channel fades; the fading-resistant variants (FR-*) pay the Section VI-B
+energy premium and keep the delivery ratio at ≈ 1 − ε.
+
+Every schedule is executed in the *same* Rayleigh environment over the same
+link geometry, so the comparison is exactly the paper's Fig. 6 protocol.
+
+Run:  python examples/fading_broadcast_comparison.py
+"""
+
+import numpy as np
+
+from repro import PAPER_PARAMS, make_scheduler
+from repro.channels import RayleighChannel, StaticChannel
+from repro.errors import InfeasibleError
+from repro.sim import run_trials
+from repro.temporal import broadcast_feasible_sources
+from repro.traces import DistanceModel, HaggleLikeConfig, haggle_like_trace
+from repro.tveg import TVEG
+
+ALGORITHMS = ("eedcb", "greed", "rand", "fr-eedcb", "fr-greed", "fr-rand")
+
+
+def main() -> None:
+    delay = 2000.0
+    trace = haggle_like_trace(HaggleLikeConfig(num_nodes=20), seed=11)
+    window = trace.restrict_window(10000.0, 10000.0 + delay).shift(-10000.0)
+
+    # One distance provider shared by both channel models: the static and
+    # fading TVEGs see identical geometry, only the ED-functions differ.
+    tvg = window.to_tvg(horizon=delay)
+    provider = DistanceModel().attach(window, seed=3)
+    static = TVEG(tvg, StaticChannel(PAPER_PARAMS), provider)
+    fading = TVEG(tvg, RayleighChannel(PAPER_PARAMS), provider)
+
+    sources = sorted(broadcast_feasible_sources(tvg, 0.0, delay))
+    if not sources:
+        raise SystemExit("window infeasible; try another seed")
+    source = sources[0]
+    print(f"N=20, delay={delay:.0f}s, source={source}, "
+          f"execution environment: Rayleigh fading\n")
+
+    header = f"{'algorithm':>10} | {'energy (norm.)':>14} | {'delivery':>8} | {'#tx':>4}"
+    print(header)
+    print("-" * len(header))
+    for name in ALGORITHMS:
+        design = fading if name.startswith("fr-") else static
+        kwargs = {"seed": 0} if "rand" in name else {}
+        try:
+            schedule = make_scheduler(name, **kwargs).schedule(design, source, delay)
+        except InfeasibleError as exc:
+            print(f"{name:>10} | infeasible: {exc}")
+            continue
+        summary = run_trials(
+            fading, schedule, source, num_trials=400, seed=1,
+            count_scheduled_energy=True,
+        )
+        print(
+            f"{name.upper():>10} | "
+            f"{PAPER_PARAMS.normalize_energy(schedule.total_cost):14.1f} | "
+            f"{summary.mean_delivery:8.3f} | {len(schedule):4d}"
+        )
+
+    print(
+        "\nReading: the static trio is cheap but loses packets under fading;"
+        "\nthe FR trio holds delivery at ≈ 1 − ε by paying the w0 premium, "
+        "\nand FR-EEDCB recovers most of that premium via the allocation NLP."
+    )
+
+
+if __name__ == "__main__":
+    main()

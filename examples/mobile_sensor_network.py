@@ -1,0 +1,80 @@
+"""Broadcast over a mobile sensor field driven by random-waypoint mobility.
+
+The paper's second motivating scenario: sensor/robot nodes moving in an
+area, links existing only while nodes are in radio range.  This example
+derives the TVEG *physically* — positions → distances → contacts — instead
+of enriching a contact trace, and also demonstrates the footnote-1 channel
+extensions (Rician / Nakagami) on the same geometry.
+
+Run:  python examples/mobile_sensor_network.py
+"""
+
+from repro import PAPER_PARAMS, check_feasibility, make_scheduler
+from repro.channels import NakagamiChannel, RayleighChannel, RicianChannel, StaticChannel
+from repro.errors import InfeasibleError
+from repro.mobility import RandomWaypoint
+from repro.sim import run_trials
+from repro.temporal import broadcast_feasible_sources
+from repro.tveg import TVEG
+
+
+def main() -> None:
+    # 1. Simulate 12 pedestrian-speed nodes in a 60 m × 60 m field.
+    mobility = RandomWaypoint(
+        num_nodes=12, area=(60.0, 60.0), speed_range=(0.8, 2.5),
+        pause_range=(0.0, 60.0),
+    )
+    horizon = 1200.0
+    positions = mobility.generate(horizon=horizon, sample_dt=5.0, seed=21)
+
+    # 2. Contacts are range-threshold crossings; distances come straight
+    #    from the trajectories (genuinely time-varying d_{i,j,t}).
+    contacts = positions.extract_contacts(radio_range=15.0)
+    tvg = contacts.to_tvg(horizon=horizon)
+    print(f"mobility contacts: {contacts.num_contacts} over {horizon:.0f}s")
+
+    sources = sorted(broadcast_feasible_sources(tvg, 0.0, horizon))
+    if not sources:
+        raise SystemExit("no feasible source; try another seed")
+    source = sources[0]
+    provider = positions.distance_provider(min_distance=1.0)
+
+    # 3. Static-channel broadcast plan.
+    static = TVEG(tvg, StaticChannel(PAPER_PARAMS), provider)
+    plan = make_scheduler("eedcb").run(static, source, horizon)
+    rep = check_feasibility(static, plan.schedule, source, horizon)
+    print(
+        f"\nEEDCB plan from node {source}: {len(plan.schedule)} transmissions, "
+        f"normalized energy "
+        f"{PAPER_PARAMS.normalize_energy(plan.schedule.total_cost):.1f}, "
+        f"feasible={rep.feasible}"
+    )
+
+    # 4. The same geometry under three fading families — the milder the
+    #    fading (higher Rician K / Nakagami m), the cheaper the ε guarantee.
+    print("\nfading-resistant plans (FR-EEDCB) across channel families:")
+    for label, channel in (
+        ("Rayleigh       ", RayleighChannel(PAPER_PARAMS)),
+        ("Rician (K=4)   ", RicianChannel(PAPER_PARAMS, k_factor=4.0)),
+        ("Nakagami (m=3) ", NakagamiChannel(PAPER_PARAMS, m=3.0)),
+    ):
+        tveg = TVEG(tvg, channel, provider)
+        try:
+            result = make_scheduler("fr-eedcb").run(tveg, source, horizon)
+        except InfeasibleError as exc:
+            print(f"  {label}: infeasible ({exc})")
+            continue
+        summary = run_trials(
+            tveg, result.schedule, source, num_trials=300, seed=2,
+            count_scheduled_energy=True,
+        )
+        print(
+            f"  {label}: energy "
+            f"{PAPER_PARAMS.normalize_energy(result.schedule.total_cost):9.1f}"
+            f"  delivery {summary.mean_delivery:.3f}"
+            f"  (allocation: {result.info['allocation_method']})"
+        )
+
+
+if __name__ == "__main__":
+    main()

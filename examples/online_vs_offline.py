@@ -1,0 +1,74 @@
+"""The price of clairvoyance: online forwarding vs the offline optimum.
+
+The paper's EEDCB sees every future contact and plans globally.  Deployed
+opportunistic networks cannot — they run online protocols that decide
+contact by contact.  This example pits the classic online trio (epidemic,
+gossip, binary spray-and-wait) against EEDCB on one broadcast window and
+reports how much energy clairvoyance saves and what delivery/latency the
+online protocols buy with it.
+
+Run:  python examples/online_vs_offline.py
+"""
+
+from repro import PAPER_PARAMS, make_scheduler
+from repro.errors import InfeasibleError
+from repro.online import Epidemic, Gossip, SprayAndWait, run_online_trials
+from repro.sim import run_trials
+from repro.temporal import broadcast_feasible_sources
+from repro.traces import HaggleLikeConfig, haggle_like_trace
+from repro.tveg import tveg_from_trace
+
+
+def main() -> None:
+    delay = 2000.0
+    trace = haggle_like_trace(HaggleLikeConfig(num_nodes=20), seed=17)
+    window = trace.restrict_window(10000.0, 10000.0 + delay).shift(-10000.0)
+    tveg = tveg_from_trace(window, "static", seed=2)
+
+    sources = sorted(broadcast_feasible_sources(tveg.tvg, 0.0, delay))
+    if not sources:
+        raise SystemExit("window infeasible; try another seed")
+    source = sources[0]
+    print(f"N=20, T={delay:.0f}s, source={source}, static channel\n")
+
+    rows = []
+
+    # Offline optimum (clairvoyant).
+    try:
+        schedule = make_scheduler("eedcb").schedule(tveg, source, delay)
+        summary = run_trials(tveg, schedule, source, 100, seed=1,
+                             count_scheduled_energy=True)
+        rows.append(
+            ("EEDCB (offline)", schedule.total_cost, summary.mean_delivery, "-")
+        )
+    except InfeasibleError as exc:
+        print(f"offline scheduler: {exc}")
+
+    # Online protocols (contact-by-contact decisions, no future knowledge).
+    for label, protocol in (
+        ("epidemic", Epidemic()),
+        ("gossip p=0.5", Gossip(0.5)),
+        ("spray L=8", SprayAndWait(tokens=8)),
+        ("spray L=4", SprayAndWait(tokens=4)),
+    ):
+        s = run_online_trials(tveg, protocol, source, delay, num_trials=60, seed=3)
+        rows.append((label, s.mean_energy, s.mean_delivery, f"{s.mean_latency:7.0f}s"))
+
+    header = f"{'strategy':>16} | {'energy (norm.)':>14} | {'delivery':>8} | {'latency':>8}"
+    print(header)
+    print("-" * len(header))
+    for label, energy, delivery, latency in rows:
+        print(
+            f"{label:>16} | {PAPER_PARAMS.normalize_energy(energy):14.1f} | "
+            f"{delivery:8.3f} | {latency:>8}"
+        )
+
+    print(
+        "\nReading: epidemic matches the foremost-journey latency but floods"
+        "\nenergy; the offline optimizer undercuts every online protocol by"
+        "\nwaiting for the cheapest contacts it (alone) knows are coming."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim enabling legacy editable installs offline.
+
+The sandbox lacks the ``wheel`` package, so PEP 517 editable installs fail
+with ``invalid command 'bdist_wheel'``; ``pip install -e . --no-build-isolation
+--no-use-pep517`` goes through this shim instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

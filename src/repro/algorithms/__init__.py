@@ -1,0 +1,27 @@
+"""Broadcast schedulers: EEDCB, FR-EEDCB, the baselines, and the oracle."""
+
+from .base import SCHEDULERS, Scheduler, SchedulerResult, make_scheduler, register
+from .eedcb import EEDCB
+from .eventsim import POWER_POLICIES, event_times, run_event_scheduler
+from .fr_eedcb import FREEDCB
+from .greedy import FRGreed, Greed
+from .oracle import OracleExact
+from .random_select import FRRand, Rand
+
+__all__ = [
+    "Scheduler",
+    "SchedulerResult",
+    "make_scheduler",
+    "register",
+    "SCHEDULERS",
+    "EEDCB",
+    "FREEDCB",
+    "Greed",
+    "FRGreed",
+    "Rand",
+    "FRRand",
+    "OracleExact",
+    "POWER_POLICIES",
+    "event_times",
+    "run_event_scheduler",
+]

@@ -1,0 +1,96 @@
+"""Scheduler interface and registry.
+
+Every broadcast algorithm of Section VI/VII — EEDCB, FR-EEDCB, GREED,
+FR-GREED, RAND, FR-RAND — implements :class:`Scheduler`: given a TVEG, a
+source, and a deadline, produce a broadcast relay schedule.  The registry
+maps the paper's algorithm names to constructors so experiments can be
+configured with strings.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional
+
+from ..errors import SolverError
+from ..schedule.schedule import Schedule
+from ..tveg.graph import TVEG
+
+__all__ = ["SchedulerResult", "Scheduler", "register", "make_scheduler", "SCHEDULERS"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class SchedulerResult:
+    """A schedule plus solver metadata (sizes, methods, fallbacks used)."""
+
+    schedule: Schedule
+    info: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_cost(self) -> float:
+        return self.schedule.total_cost
+
+
+class Scheduler(ABC):
+    """Base class: computes a broadcast relay schedule on a TVEG."""
+
+    #: registry key and display name (the paper's algorithm acronym)
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        tveg: TVEG,
+        source: Node,
+        deadline: float,
+        start_time: float = 0.0,
+    ) -> SchedulerResult:
+        """Compute a schedule for broadcasting from ``source`` by ``deadline``.
+
+        ``deadline`` is an absolute time (the delay constraint ``T`` added to
+        ``start_time`` by callers that think in durations).
+        """
+
+    def schedule(
+        self,
+        tveg: TVEG,
+        source: Node,
+        deadline: float,
+        start_time: float = 0.0,
+    ) -> Schedule:
+        """Convenience wrapper returning just the schedule."""
+        return self.run(tveg, source, deadline, start_time).schedule
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {}
+
+
+def register(name: str):
+    """Class decorator adding a scheduler to the registry under ``name``."""
+
+    def deco(cls):
+        cls.name = name
+        SCHEDULERS[name] = cls
+        return cls
+
+    return deco
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a registered scheduler by its paper acronym.
+
+    Known names: ``eedcb``, ``fr-eedcb``, ``greed``, ``fr-greed``, ``rand``,
+    ``fr-rand`` (case-insensitive).
+    """
+    key = name.lower()
+    if key not in SCHEDULERS:
+        raise SolverError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        )
+    return SCHEDULERS[key](**kwargs)

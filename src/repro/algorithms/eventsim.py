@@ -1,0 +1,105 @@
+"""Shared event-driven machinery for the GREED and RAND baselines.
+
+Both baselines walk the topology-change event times of the trace and, at
+each instant, let informed nodes transmit until no transmission would inform
+anyone new; they differ only in *which* eligible relay acts next (the
+selection function).  The power policy resolves the paper's Section VII
+ambiguity (see DESIGN.md):
+
+* ``"cover"`` (default) — the smallest DCS level reaching every currently
+  uninformed adjacent node of the relay;
+* ``"min"`` — the paper-literal smallest DCS level (``w¹``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SolverError
+from ..schedule.schedule import Schedule, Transmission
+from ..tveg.costsets import discrete_cost_set
+from ..tveg.graph import TVEG
+
+__all__ = ["Candidate", "event_times", "run_event_scheduler", "POWER_POLICIES"]
+
+Node = Hashable
+POWER_POLICIES = ("cover", "min")
+
+#: (relay, cost, newly-informed nodes) — one possible transmission
+Candidate = Tuple[Node, float, Tuple[Node, ...]]
+#: picks the next transmission among candidates
+Selector = Callable[[List[Candidate]], Candidate]
+
+
+def event_times(tveg: TVEG, start_time: float, deadline: float) -> List[float]:
+    """Topology-change instants in ``[start_time, deadline − τ]``.
+
+    Coverage opportunities change only when some contact begins or ends (or
+    when a node becomes informed — which itself happens at such an instant
+    under τ = 0), so these are the only times the baselines need to act at.
+    """
+    end = min(deadline - tveg.tau, tveg.horizon)
+    points: Set[float] = {start_time}
+    for _, pres in tveg.tvg.edges_with_presence():
+        for b in pres.erode(tveg.tau).boundaries_within(start_time, end):
+            points.add(b)
+    return sorted(points)
+
+
+def _candidates(
+    tveg: TVEG,
+    informed: Set[Node],
+    t: float,
+    power_policy: str,
+) -> List[Candidate]:
+    out: List[Candidate] = []
+    for r in informed:
+        dcs = discrete_cost_set(tveg, r, t)
+        if dcs.is_empty:
+            continue
+        uninformed = [v for v in dcs.neighbors if v not in informed]
+        if not uninformed:
+            continue
+        if power_policy == "cover":
+            w = dcs.cost_to_cover(uninformed)
+        else:
+            w = dcs.costs[0]
+        newly = tuple(v for v in dcs.coverage(w) if v not in informed)
+        if newly:
+            out.append((r, w, newly))
+    return out
+
+
+def run_event_scheduler(
+    tveg: TVEG,
+    source: Node,
+    deadline: float,
+    select: Selector,
+    power_policy: str = "cover",
+    start_time: float = 0.0,
+) -> Tuple[Schedule, Set[Node]]:
+    """Run the event-driven baseline; returns (schedule, informed set).
+
+    The schedule may be partial when the instance is infeasible within the
+    deadline — callers decide whether that is an error (the experiment
+    harness measures the resulting delivery ratio instead).
+    """
+    if power_policy not in POWER_POLICIES:
+        raise SolverError(
+            f"unknown power policy {power_policy!r}; choose from {POWER_POLICIES}"
+        )
+    informed: Set[Node] = {source}
+    rows: List[Transmission] = []
+    n = tveg.num_nodes
+
+    for t in event_times(tveg, start_time, deadline):
+        while len(informed) < n:
+            cands = _candidates(tveg, informed, t, power_policy)
+            if not cands:
+                break
+            relay, w, newly = select(cands)
+            rows.append(Transmission(relay, t, w))
+            informed.update(newly)
+        if len(informed) == n:
+            break
+    return Schedule(rows), informed

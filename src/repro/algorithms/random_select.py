@@ -1,0 +1,96 @@
+"""RAND and FR-RAND baselines (Section VII).
+
+RAND picks a *random* informed node (among those that could inform someone)
+as the next relay at each step; FR-RAND reuses the RAND backbone and
+recomputes costs with the Section VI-B NLP.  Seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from ..allocation.nlp import solve_allocation
+from ..allocation.problem import build_allocation_problem
+from ..core.rng import SeedLike, as_generator
+from ..errors import SolverError
+from ..tveg.graph import TVEG
+from .base import Scheduler, SchedulerResult, register
+from .eventsim import Candidate, run_event_scheduler
+
+__all__ = ["Rand", "FRRand"]
+
+Node = Hashable
+
+
+@register("rand")
+class Rand(Scheduler):
+    """The random-relay baseline."""
+
+    def __init__(self, power_policy: str = "cover", seed: SeedLike = None):
+        self._policy = power_policy
+        self._rng = as_generator(seed)
+
+    def run(
+        self,
+        tveg: TVEG,
+        source: Node,
+        deadline: float,
+        start_time: float = 0.0,
+    ) -> SchedulerResult:
+        def select(cands: List[Candidate]) -> Candidate:
+            return cands[int(self._rng.integers(len(cands)))]
+
+        schedule, informed = run_event_scheduler(
+            tveg, source, deadline, select, self._policy, start_time
+        )
+        return SchedulerResult(
+            schedule=schedule,
+            info={
+                "informed": len(informed),
+                "num_nodes": tveg.num_nodes,
+                "power_policy": self._policy,
+            },
+        )
+
+
+@register("fr-rand")
+class FRRand(Scheduler):
+    """RAND backbone + NLP energy allocation (the paper's FR-RAND)."""
+
+    def __init__(
+        self,
+        power_policy: str = "cover",
+        seed: SeedLike = None,
+        use_slsqp: bool = True,
+    ):
+        self._inner = Rand(power_policy, seed)
+        self._use_slsqp = use_slsqp
+
+    def run(
+        self,
+        tveg: TVEG,
+        source: Node,
+        deadline: float,
+        start_time: float = 0.0,
+    ) -> SchedulerResult:
+        if not tveg.is_fading:
+            raise SolverError(
+                "FR-RAND targets fading channels; use RAND on static ones"
+            )
+        base = self._inner.run(tveg, source, deadline, start_time)
+        info = dict(base.info)
+        if base.schedule.is_empty or base.info["informed"] < tveg.num_nodes:
+            info["allocation_method"] = "backbone (partial coverage)"
+            return SchedulerResult(schedule=base.schedule, info=info)
+        problem = build_allocation_problem(tveg, base.schedule, source)
+        alloc = solve_allocation(problem, use_slsqp=self._use_slsqp)
+        info.update(
+            {
+                "allocation_method": alloc.method,
+                "backbone_cost": base.schedule.total_cost,
+                "allocated_cost": alloc.total,
+            }
+        )
+        return SchedulerResult(
+            schedule=base.schedule.with_costs(alloc.costs), info=info
+        )

@@ -1,0 +1,23 @@
+"""Optimal energy allocation (Section VI-B, Eqs. 14–17)."""
+
+from .closed_form import balanced_allocation, closed_form_allocation
+from .coordinate import coordinate_descent_allocation
+from .nlp import AllocationResult, solve_allocation
+from .problem import (
+    AllocationProblem,
+    Constraint,
+    build_allocation_problem,
+    causal_order,
+)
+
+__all__ = [
+    "Constraint",
+    "AllocationProblem",
+    "build_allocation_problem",
+    "causal_order",
+    "closed_form_allocation",
+    "balanced_allocation",
+    "coordinate_descent_allocation",
+    "AllocationResult",
+    "solve_allocation",
+]

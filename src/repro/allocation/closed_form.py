@@ -1,0 +1,64 @@
+"""Designated-transmitter closed-form allocation.
+
+A feasible cost vector obtained without optimization: every constraint
+designates its *cheapest* participating transmission (smallest ``β``) and
+requires that transmission alone to drive the product to ε — i.e.
+``w_k ≥ β / ln(1/(1−ε))``, Section VI-B's single-hop cost ``w0``.  Each
+variable takes the maximum requirement over the constraints that designated
+it (and the lower bound otherwise).
+
+Properties:
+
+* always feasible whenever the problem is (every other factor is ≤ 1);
+* *optimal* when the constraints' designated sets are disjoint singletons —
+  the cross-check the test suite runs against the NLP solver;
+* the standard warm start for both iterative solvers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .problem import AllocationProblem
+
+__all__ = ["closed_form_allocation", "balanced_allocation"]
+
+
+def closed_form_allocation(problem: AllocationProblem) -> np.ndarray:
+    """The designated-transmitter allocation (see module docstring)."""
+    w = np.full(problem.num_vars, problem.lb, dtype=float)
+    for c in problem.constraints:
+        k_best, need = min(
+            ((k, problem.min_single_cost(ch)) for k, ch in c.terms),
+            key=lambda kn: kn[1],
+        )
+        if need > w[k_best]:
+            w[k_best] = need
+    return np.minimum(w, problem.w_max)
+
+
+def balanced_allocation(problem: AllocationProblem) -> np.ndarray:
+    """The equal-split allocation: each constraint shares ε over its terms.
+
+    A constraint with ``m`` terms targets per-term failure ``ε^{1/m}``, so
+    every participating cost is ``β / ln(1/(1 − ε^{1/m}))``; a variable takes
+    the maximum over its constraints.  Feasible by construction (raising any
+    cost only shrinks its factor), interior rather than vertex-like — the
+    smooth warm start the SLSQP polish needs to exploit coverage overlap,
+    and already optimal for a single symmetric constraint.
+    """
+    import math
+
+    from .problem import term_ed
+
+    eps = math.exp(problem.log_eps)
+    w = np.full(problem.num_vars, problem.lb, dtype=float)
+    for c in problem.constraints:
+        target = eps ** (1.0 / len(c.terms))
+        for k, ch in c.terms:
+            need = term_ed(ch).min_cost(target)
+            if need > w[k]:
+                w[k] = need
+    return np.minimum(w, problem.w_max)

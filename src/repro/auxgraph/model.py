@@ -1,0 +1,67 @@
+"""Auxiliary-graph node vocabulary (Section VI-A).
+
+The auxiliary graph has two node kinds:
+
+* **state nodes** ``u_{i,l}`` — "``v_i`` holds the packet at its ``l``-th DTS
+  point"; encoded as ``("state", i, l)``.
+* **transmission nodes** ``x_{i,l,k}`` — "``v_i`` transmits at its ``l``-th
+  DTS point using its ``k``-th DCS level"; encoded as ``("tx", i, l, k)``.
+
+Transmission nodes realize the wireless broadcast advantage (Property
+6.1(i)): entering ``x_{i,l,k}`` costs ``w^k`` once, and 0-weight edges then
+fan out to *every* receiver state that cost level covers — so a Steiner tree
+pays for each transmission exactly once however many children it informs.
+This is the encoding Liang's MEMT reduction uses.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple, Union
+
+__all__ = [
+    "state_node",
+    "tx_node",
+    "is_state",
+    "is_tx",
+    "node_of",
+    "point_index_of",
+    "level_of",
+]
+
+Node = Hashable
+AuxNode = Tuple  # ("state", node, l) | ("tx", node, l, k)
+
+
+def state_node(node: Node, point_index: int) -> AuxNode:
+    """The state node ``u_{node, point_index}``."""
+    return ("state", node, point_index)
+
+
+def tx_node(node: Node, point_index: int, level: int) -> AuxNode:
+    """The transmission node ``x_{node, point_index, level}``."""
+    return ("tx", node, point_index, level)
+
+
+def is_state(aux: AuxNode) -> bool:
+    return aux[0] == "state"
+
+
+def is_tx(aux: AuxNode) -> bool:
+    return aux[0] == "tx"
+
+
+def node_of(aux: AuxNode) -> Node:
+    """The real network node behind an auxiliary node."""
+    return aux[1]
+
+
+def point_index_of(aux: AuxNode) -> int:
+    """The DTS point index of an auxiliary node."""
+    return aux[2]
+
+
+def level_of(aux: AuxNode) -> int:
+    """The DCS level of a transmission node."""
+    if not is_tx(aux):
+        raise ValueError(f"{aux!r} is not a transmission node")
+    return aux[3]

@@ -1,0 +1,33 @@
+"""Channel models and energy-demand functions (Sections III-B / III-C)."""
+
+from .base import AbsentED, EDFunction, verify_properties
+from .models import (
+    ChannelModel,
+    NakagamiChannel,
+    RayleighChannel,
+    RicianChannel,
+    StaticChannel,
+)
+from .nakagami import NakagamiED
+from .pathloss import ConstantGain, LogDistancePathLoss, PowerLawPathLoss
+from .rayleigh import RayleighED
+from .rician import RicianED
+from .step import StepED
+
+__all__ = [
+    "EDFunction",
+    "AbsentED",
+    "verify_properties",
+    "StepED",
+    "RayleighED",
+    "RicianED",
+    "NakagamiED",
+    "ChannelModel",
+    "StaticChannel",
+    "RayleighChannel",
+    "RicianChannel",
+    "NakagamiChannel",
+    "PowerLawPathLoss",
+    "LogDistancePathLoss",
+    "ConstantGain",
+]

@@ -1,0 +1,141 @@
+"""Energy-demand functions (Section III-B, Property 3.1).
+
+An *ED-function* ``φ : W → [0, 1]`` maps a transmit cost to the probability
+that a single transmission over the edge **fails** at the given time.  Every
+concrete ED-function in this package satisfies Property 3.1:
+
+(i)   ``φ(w) → 0`` as ``w → ∞`` when the edge is present;
+(ii)  ``φ(0) = 1`` when the edge is present and ``w_min = 0``;
+(iii) ``φ(w) = 1`` for every ``w`` when the edge is absent;
+(iv)  ``φ`` is non-increasing.
+
+:func:`verify_properties` checks these numerically and is exercised by the
+hypothesis test-suite over every channel model.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..errors import ChannelModelError
+
+__all__ = ["EDFunction", "AbsentED", "verify_properties"]
+
+
+class EDFunction(ABC):
+    """Failure probability of a single transmission as a function of cost."""
+
+    @abstractmethod
+    def failure(self, w: float) -> float:
+        """``φ(w)`` — probability the transmission fails at cost ``w``."""
+
+    @abstractmethod
+    def min_cost(self, target_failure: float) -> float:
+        """Smallest ``w`` with ``φ(w) ≤ target_failure``; ``inf`` if none.
+
+        This is the generalized inverse used everywhere the paper writes
+        "minimum cost": Eq. (2)'s threshold for the step function and
+        Section VI-B's ``w0`` for the Rayleigh function.
+        """
+
+    # ------------------------------------------------------------------
+    def __call__(self, w: float) -> float:
+        return self.failure(w)
+
+    def success(self, w: float) -> float:
+        """``1 − φ(w)`` — single-transmission success probability."""
+        return 1.0 - self.failure(w)
+
+    def log_failure(self, w: float) -> float:
+        """``log φ(w)`` — the allocation NLP's per-term value.
+
+        Subclasses with a numerically delicate ``φ`` override this.
+        """
+        if w <= 0.0:
+            return 0.0
+        p = self.failure(w)
+        if p <= 0.0:
+            return -math.inf
+        return math.log(p)
+
+    def dlog_failure_dw(self, w: float) -> float:
+        """``d log φ / dw`` (≤ 0) — the NLP constraint gradient term.
+
+        Default: central finite difference with a relative step; concrete
+        channels override with the analytic derivative where cheap.
+        """
+        if w <= 0.0:
+            return 0.0
+        h = max(abs(w) * 1e-6, 1e-300)
+        hi = self.log_failure(w + h)
+        lo = self.log_failure(w - h) if w - h > 0 else self.log_failure(w)
+        denom = 2 * h if w - h > 0 else h
+        return (hi - lo) / denom
+
+    def _check_cost(self, w: float) -> None:
+        if w < 0 or math.isnan(w):
+            raise ChannelModelError(f"transmit cost must be >= 0, got {w!r}")
+
+
+class AbsentED(EDFunction):
+    """The ED-function of an absent edge: ``φ(w) = 1`` for all ``w``.
+
+    Property 3.1(iii) — when ``ρ(e, t) = 0`` no cost yields any success.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "AbsentED":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def failure(self, w: float) -> float:
+        self._check_cost(w)
+        return 1.0
+
+    def min_cost(self, target_failure: float) -> float:
+        if target_failure >= 1.0:
+            return 0.0
+        return math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "AbsentED()"
+
+
+def verify_properties(
+    ed: EDFunction,
+    costs: Sequence[float],
+    present: bool = True,
+    atol: float = 1e-12,
+) -> None:
+    """Assert Property 3.1 numerically on a grid of costs.
+
+    Raises :class:`ChannelModelError` on the first violated clause.  Used by
+    the test suite against every channel model; also handy as a sanity check
+    for user-supplied ED-functions.
+    """
+    ws = sorted(float(w) for w in costs if w >= 0)
+    if not ws:
+        raise ChannelModelError("verify_properties() needs at least one cost")
+    prev = None
+    for w in ws:
+        p = ed.failure(w)
+        if not (0.0 - atol <= p <= 1.0 + atol):
+            raise ChannelModelError(f"φ({w}) = {p} is outside [0, 1]")
+        if prev is not None and p > prev + atol:
+            raise ChannelModelError(
+                f"φ is increasing between consecutive costs ({prev} → {p})"
+            )
+        prev = p
+    if not present:
+        for w in ws:
+            if abs(ed.failure(w) - 1.0) > atol:
+                raise ChannelModelError(
+                    "absent edge must have φ(w) = 1 for all w (Property 3.1(iii))"
+                )
+    else:
+        if ed.failure(0.0) < 1.0 - atol:
+            raise ChannelModelError("φ(0) must equal 1 (Property 3.1(ii))")

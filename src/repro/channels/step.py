@@ -1,0 +1,55 @@
+"""Step ED-function — the static channel model (Eq. 2).
+
+In a static channel the propagation gain is a constant ``h``, so decoding
+succeeds iff ``w · h / (N0·B) ≥ γ_th``; the failure probability is a step:
+
+    φ(w) = 0  if w ≥ N0·B·γ_th / h      (the *minimum cost*)
+    φ(w) = 1  otherwise
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ChannelModelError
+from .base import EDFunction
+
+__all__ = ["StepED"]
+
+
+class StepED(EDFunction):
+    """Deterministic threshold ED-function with minimum cost ``threshold``."""
+
+    __slots__ = ("_threshold",)
+
+    def __init__(self, threshold: float) -> None:
+        if threshold <= 0 or math.isnan(threshold):
+            raise ChannelModelError(
+                f"step threshold must be positive, got {threshold!r}"
+            )
+        self._threshold = float(threshold)
+
+    @property
+    def threshold(self) -> float:
+        """The minimum cost ``N0·B·γ_th / h`` of Eq. (2)."""
+        return self._threshold
+
+    def failure(self, w: float) -> float:
+        self._check_cost(w)
+        return 0.0 if w >= self._threshold else 1.0
+
+    def min_cost(self, target_failure: float) -> float:
+        if target_failure >= 1.0:
+            return 0.0
+        return self._threshold
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StepED(threshold={self._threshold:g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StepED):
+            return NotImplemented
+        return self._threshold == other._threshold
+
+    def __hash__(self) -> int:
+        return hash(("StepED", self._threshold))

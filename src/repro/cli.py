@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the full pipeline so the library is usable without
+writing Python:
+
+* ``generate``   — synthesize a Haggle-like contact trace to a file;
+* ``stats``      — summarize a trace (CRAWDAD or CSV);
+* ``schedule``   — run a scheduler on a trace window and print the schedule;
+* ``simulate``   — Monte-Carlo a schedule produced by a scheduler;
+* ``experiment`` — regenerate one of the paper's figures (4–7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .algorithms import SCHEDULERS, make_scheduler
+from .errors import InfeasibleError, ReproError
+from .experiments import (
+    ExperimentConfig,
+    print_sweep,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+)
+from .params import PAPER_PARAMS
+from .schedule import check_feasibility
+from .sim import run_trials
+from .temporal.reachability import broadcast_feasible_sources
+from .traces import (
+    HaggleLikeConfig,
+    haggle_like_trace,
+    load_trace,
+    summarize,
+    write_crawdad,
+    write_csv,
+)
+from .tveg import tveg_from_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-efficient delay-constrained broadcast on "
+        "time-varying energy-demand graphs (ICPP 2015 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="synthesize a Haggle-like contact trace")
+    g.add_argument("output", help="output path (.csv → CSV, else CRAWDAD)")
+    g.add_argument("--nodes", type=int, default=20)
+    g.add_argument("--horizon", type=float, default=17000.0)
+    g.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser("stats", help="summarize a contact trace")
+    s.add_argument("trace", help="trace file (CRAWDAD or CSV)")
+
+    c = sub.add_parser("schedule", help="schedule one broadcast on a trace window")
+    c.add_argument("trace", help="trace file (CRAWDAD or CSV)")
+    c.add_argument("--algorithm", choices=sorted(SCHEDULERS), default="eedcb")
+    c.add_argument("--channel", choices=("static", "rayleigh"), default=None,
+                   help="default: static for plain, rayleigh for fr-* algorithms")
+    c.add_argument("--window-start", type=float, default=0.0)
+    c.add_argument("--delay", type=float, default=2000.0)
+    c.add_argument("--source", type=int, default=None,
+                   help="default: first broadcast-feasible node")
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--save", default=None,
+                   help="also write the schedule to this CSV file")
+
+    m = sub.add_parser("simulate", help="schedule + Monte-Carlo delivery estimate")
+    for src_parser in (m,):
+        src_parser.add_argument("trace")
+        src_parser.add_argument("--algorithm", choices=sorted(SCHEDULERS), default="fr-eedcb")
+        src_parser.add_argument("--channel", choices=("static", "rayleigh"), default=None)
+        src_parser.add_argument("--window-start", type=float, default=0.0)
+        src_parser.add_argument("--delay", type=float, default=2000.0)
+        src_parser.add_argument("--source", type=int, default=None)
+        src_parser.add_argument("--seed", type=int, default=0)
+    m.add_argument("--trials", type=int, default=300)
+    m.add_argument("--schedule-file", default=None,
+                   help="simulate this saved schedule instead of rescheduling")
+
+    e = sub.add_parser("experiment", help="regenerate a paper figure")
+    e.add_argument("figure", choices=("fig4", "fig5", "fig6", "fig7"))
+    e.add_argument("--repetitions", type=int, default=3)
+    e.add_argument("--trials", type=int, default=100)
+    e.add_argument("--nodes", type=int, default=20)
+    e.add_argument("--seed", type=int, default=2015)
+    e.add_argument("--csv-dir", default=None,
+                   help="also write each panel as CSV into this directory")
+    return parser
+
+
+def _prepare(args):
+    """Shared trace-window → TVEG → source pipeline for schedule/simulate."""
+    trace = load_trace(args.trace)
+    window = trace.restrict_window(
+        args.window_start, args.window_start + args.delay
+    ).shift(-args.window_start)
+    channel = args.channel or (
+        "rayleigh" if args.algorithm.startswith("fr-") else "static"
+    )
+    tveg = tveg_from_trace(window, channel, seed=args.seed)
+    if args.source is not None:
+        source = args.source
+    else:
+        feasible = sorted(broadcast_feasible_sources(tveg.tvg, 0.0, args.delay))
+        if not feasible:
+            raise InfeasibleError(
+                "no broadcast-feasible source in this window; "
+                "try --window-start elsewhere or a larger --delay"
+            )
+        source = feasible[0]
+    kwargs = {"seed": args.seed} if "rand" in args.algorithm else {}
+    scheduler = make_scheduler(args.algorithm, **kwargs)
+    return tveg, source, scheduler
+
+
+def _cmd_generate(args) -> int:
+    trace = haggle_like_trace(
+        HaggleLikeConfig(num_nodes=args.nodes, horizon=args.horizon),
+        seed=args.seed,
+    )
+    if args.output.endswith(".csv"):
+        write_csv(trace, args.output)
+    else:
+        write_crawdad(trace, args.output)
+    print(f"wrote {trace} to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    print(summarize(load_trace(args.trace)))
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from .schedule.io import write_schedule_csv
+
+    tveg, source, scheduler = _prepare(args)
+    result = scheduler.run(tveg, source, args.delay)
+    schedule = result.schedule
+    if args.save:
+        write_schedule_csv(schedule, args.save)
+    print(f"# algorithm={args.algorithm} source={source} delay={args.delay:g}")
+    print(f"# total normalized energy: "
+          f"{PAPER_PARAMS.normalize_energy(schedule.total_cost):.3f}")
+    report = check_feasibility(tveg, schedule, source, args.delay)
+    print(f"# feasible: {report.feasible}")
+    print("# relay time cost")
+    for s in schedule:
+        print(f"{s.relay} {s.time:.3f} {s.cost:.6e}")
+    return 0 if report.feasible else 2
+
+
+def _cmd_simulate(args) -> int:
+    from .schedule.io import read_schedule_csv
+
+    tveg, source, scheduler = _prepare(args)
+    if args.schedule_file:
+        schedule = read_schedule_csv(args.schedule_file)
+    else:
+        schedule = scheduler.schedule(tveg, source, args.delay)
+    summary = run_trials(
+        tveg, schedule, source, num_trials=args.trials, seed=args.seed,
+        count_scheduled_energy=True,
+    )
+    lo, hi = summary.delivery_ci95()
+    label = f"file:{args.schedule_file}" if args.schedule_file else args.algorithm
+    print(f"algorithm:  {label}")
+    print(f"energy:     {PAPER_PARAMS.normalize_energy(schedule.total_cost):.3f} (normalized)")
+    print(f"delivery:   {summary.mean_delivery:.4f}  (95% CI [{lo:.4f}, {hi:.4f}])")
+    print(f"trials:     {summary.num_trials}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from pathlib import Path
+
+    from .experiments.export import write_sweep_csv
+
+    config = ExperimentConfig(
+        repetitions=args.repetitions,
+        trials=args.trials,
+        num_nodes=args.nodes,
+        seed=args.seed,
+    )
+    if args.figure == "fig4":
+        panels = [run_fig4(ch, config) for ch in ("static", "rayleigh")]
+    elif args.figure == "fig5":
+        panels = [run_fig5(ch, config) for ch in ("static", "rayleigh")]
+    elif args.figure == "fig6":
+        panels = list(run_fig6(config))
+    else:
+        panels = [run_fig7(ch, config) for ch in ("static", "rayleigh")]
+
+    for i, panel in enumerate(panels):
+        print_sweep(panel)
+        if args.csv_dir:
+            out = Path(args.csv_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            path = out / f"{args.figure}_panel{chr(ord('a') + i)}.csv"
+            write_sweep_csv(panel, path)
+            print(f"# wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "schedule": _cmd_schedule,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Core primitives: interval algebra, time partitions, units, RNG plumbing."""
+
+from .intervals import Interval, IntervalSet, merge_all
+from .partitions import Partition, combine
+from .rng import as_generator, spawn
+from .units import db_to_linear, dbm_to_watts, linear_to_db, watts_to_dbm
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "merge_all",
+    "Partition",
+    "combine",
+    "as_generator",
+    "spawn",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+]

@@ -1,0 +1,178 @@
+"""Time partitions (Definition 5.1) and the combination operator (Eq. 8).
+
+A *partition* of the time span ``T = [0, horizon]`` is a finite ordered
+sequence of time points ``0 = t_0 < t_1 < ... < t_m = horizon``; its
+*intervals* are the half-open ``[t_k, t_{k+1})``.  The paper combines
+partitions by merging and re-sorting their point sets (Eq. 8); combination is
+therefore associative, commutative, and idempotent — properties the test
+suite verifies with hypothesis.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import PartitionError
+from .intervals import Interval
+
+__all__ = ["Partition", "combine"]
+
+_EPS = 1e-12
+
+
+class Partition:
+    """An ordered sequence of time points partitioning ``[start, end]``.
+
+    The first point is the start of the span and the last is its end
+    (Definition 5.1 requires ``t_0 = 0`` and ``t_m = T``; we generalize to an
+    arbitrary span so sub-horizons can be partitioned too).
+    """
+
+    __slots__ = ("_points",)
+
+    def __init__(self, points: Iterable[float]) -> None:
+        pts = sorted(set(float(p) for p in points))
+        if len(pts) < 2:
+            raise PartitionError("a partition needs at least two time points")
+        self._points = tuple(pts)
+
+    @classmethod
+    def trivial(cls, start: float, end: float) -> "Partition":
+        """The two-point partition ``{start, end}`` (a single interval)."""
+        if start >= end:
+            raise PartitionError("trivial partition requires start < end")
+        return cls((start, end))
+
+    @classmethod
+    def from_boundaries(
+        cls, boundaries: Iterable[float], start: float, end: float
+    ) -> "Partition":
+        """Partition of ``[start, end]`` refined by any boundaries inside it.
+
+        Boundary points outside ``[start, end]`` are ignored; the span
+        endpoints are always included.
+        """
+        inner = [b for b in boundaries if start < b < end]
+        return cls([start, end, *inner])
+
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> Tuple[float, ...]:
+        return self._points
+
+    @property
+    def start(self) -> float:
+        return self._points[0]
+
+    @property
+    def end(self) -> float:
+        return self._points[-1]
+
+    @property
+    def num_intervals(self) -> int:
+        return len(self._points) - 1
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._points)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if len(self._points) <= 8:
+            body = ", ".join(f"{p:g}" for p in self._points)
+        else:
+            head = ", ".join(f"{p:g}" for p in self._points[:3])
+            tail = ", ".join(f"{p:g}" for p in self._points[-3:])
+            body = f"{head}, ..., {tail}"
+        return f"Partition({body})"
+
+    # ------------------------------------------------------------------
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The half-open intervals ``[t_k, t_{k+1})`` of the partition."""
+        return tuple(
+            Interval(self._points[k], self._points[k + 1])
+            for k in range(len(self._points) - 1)
+        )
+
+    def interval_of(self, t: float) -> Interval:
+        """The partition interval containing ``t``.
+
+        The final point ``t_m`` is assigned to the last interval so every
+        point of the closed span has a home.
+        """
+        if not (self.start <= t <= self.end):
+            raise PartitionError(
+                f"time {t!r} outside partition span [{self.start}, {self.end}]"
+            )
+        idx = bisect_right(self._points, t) - 1
+        idx = min(idx, len(self._points) - 2)
+        return Interval(self._points[idx], self._points[idx + 1])
+
+    def floor_point(self, t: float) -> float:
+        """The largest partition point ``<= t`` (the paper's earliest
+        transmission target ``t_s`` within ``t``'s interval, Prop. 5.1)."""
+        return self.interval_of(t).start
+
+    def index_of_point(self, t: float) -> int:
+        """Index of an exact partition point; raises if ``t`` is not one."""
+        idx = bisect_right(self._points, t) - 1
+        if idx >= 0 and abs(self._points[idx] - t) <= _EPS:
+            return idx
+        raise PartitionError(f"time {t!r} is not a partition point")
+
+    def has_point(self, t: float, tol: float = _EPS) -> bool:
+        idx = bisect_right(self._points, t) - 1
+        for j in (idx, idx + 1):
+            if 0 <= j < len(self._points) and abs(self._points[j] - t) <= tol:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def combine(self, other: "Partition") -> "Partition":
+        """The combination ``P₁ ∪ P₂`` of two partitions (Eq. 8).
+
+        Both partitions must share the same span; the result contains the
+        ordered union of their point sets.
+        """
+        if (self.start, self.end) != (other.start, other.end):
+            raise PartitionError(
+                "cannot combine partitions with different spans: "
+                f"[{self.start}, {self.end}] vs [{other.start}, {other.end}]"
+            )
+        return Partition(self._points + other._points)
+
+    def __or__(self, other: "Partition") -> "Partition":
+        return self.combine(other)
+
+    def refine_with(self, extra_points: Iterable[float]) -> "Partition":
+        """A new partition including any ``extra_points`` inside the span."""
+        inner = [p for p in extra_points if self.start < p < self.end]
+        if not inner:
+            return self
+        return Partition(self._points + tuple(inner))
+
+
+def combine(partitions: Sequence[Partition]) -> Partition:
+    """Combination of arbitrarily many partitions (Eq. 8 generalized).
+
+    All partitions must share the same span.
+    """
+    if not partitions:
+        raise PartitionError("combine() requires at least one partition")
+    span = (partitions[0].start, partitions[0].end)
+    points: List[float] = []
+    for p in partitions:
+        if (p.start, p.end) != span:
+            raise PartitionError("all partitions must share the same span")
+        points.extend(p.points)
+    return Partition(points)

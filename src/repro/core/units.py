@@ -1,0 +1,45 @@
+"""Unit conversions used throughout the physical-layer models.
+
+The paper quotes its decoding threshold in dB (``γ_th = 25.9 dB``) and its
+noise power density in W/Hz; internally everything is linear SI, so these
+helpers are the single place where dB enters or leaves the library.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+]
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio in decibels to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises :class:`ValueError` for non-positive ratios, which have no dB
+    representation.
+    """
+    if ratio <= 0:
+        raise ValueError(f"cannot express non-positive ratio {ratio!r} in dB")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts."""
+    return 10.0 ** ((dbm - 30.0) / 10.0)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm."""
+    if watts <= 0:
+        raise ValueError(f"cannot express non-positive power {watts!r} in dBm")
+    return 10.0 * math.log10(watts) + 30.0

@@ -1,0 +1,18 @@
+"""Discrete time sets (Section V): partitions, ET-law, DTS construction."""
+
+from .adjacent import adjacent_partition, all_adjacent_partitions, pair_partition
+from .dts import DiscreteTimeSet, build_dts
+from .etlaw import apply_et_law, earliest_transmission_time, follows_et_law
+from .status import status_points
+
+__all__ = [
+    "pair_partition",
+    "adjacent_partition",
+    "all_adjacent_partitions",
+    "status_points",
+    "DiscreteTimeSet",
+    "build_dts",
+    "apply_et_law",
+    "earliest_transmission_time",
+    "follows_et_law",
+]

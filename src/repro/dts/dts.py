@@ -1,0 +1,112 @@
+"""Discrete time sets (Definition 5.2).
+
+Each node's *discrete time partition* ``P^di_i`` combines its adjacent
+partition with a status partition; the DTS ``D_V`` collects them for all
+nodes.  Theorem 5.2 guarantees an optimal continuous-time schedule exists
+whose transmissions all occur at DTS points, so the schedulers of Section VI
+search only these finitely many instants.
+
+Construction applies one correctness-preserving optimization: a point at
+which a node has *no* adjacent neighbor is useless to that node (it can
+neither receive nor usefully transmit), so ``prune=True`` (the default)
+drops such points — except the span endpoints, which the auxiliary graph
+needs as source/terminal anchors.  Every ET-law transmission time survives
+pruning because a transmitting (or receiving) node is by definition adjacent
+to someone at that instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..core.partitions import Partition
+from ..temporal.tvg import TVG
+from .adjacent import all_adjacent_partitions
+from .status import status_points
+
+__all__ = ["DiscreteTimeSet", "build_dts"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class DiscreteTimeSet:
+    """The DTS ``D_V = {P^di_1, ..., P^di_N}`` over ``[0, deadline]``."""
+
+    partitions: Dict[Node, Partition]
+    deadline: float
+    tau: float
+
+    def points(self, node: Node) -> Tuple[float, ...]:
+        """The discrete time points of one node."""
+        return self.partitions[node].points
+
+    def partition(self, node: Node) -> Partition:
+        return self.partitions[node]
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return tuple(self.partitions)
+
+    def total_points(self) -> int:
+        """Σ_i |P^di_i| — the auxiliary graph's state-node count."""
+        return sum(len(p) for p in self.partitions.values())
+
+    def contains(self, node: Node, t: float, tol: float = 1e-9) -> bool:
+        """True iff ``t`` is (within tolerance) a DTS point of ``node``."""
+        return self.partitions[node].has_point(t, tol)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiscreteTimeSet(|V|={len(self.partitions)}, "
+            f"points={self.total_points()}, deadline={self.deadline:g})"
+        )
+
+
+def build_dts(
+    tvg: TVG,
+    deadline: Optional[float] = None,
+    prune: bool = True,
+    max_depth: Optional[int] = None,
+) -> DiscreteTimeSet:
+    """Build the DTS of ``tvg`` over ``[0, deadline]`` (Definition 5.2).
+
+    Parameters
+    ----------
+    deadline:
+        The delay constraint ``T``; defaults to the TVG horizon.
+    prune:
+        Drop per-node points at which the node has no neighbor (see module
+        docstring).  Disable to obtain the unpruned textbook construction.
+    max_depth:
+        Maximum τ-trigger chain length for ``τ > 0`` (default ``N − 1``).
+    """
+    end = tvg.horizon if deadline is None else min(tvg.horizon, deadline)
+    adjacent = all_adjacent_partitions(tvg, end)
+    stat = status_points(tvg, end, max_depth)
+
+    partitions: Dict[Node, Partition] = {}
+    for node in tvg.nodes:
+        pts = set(adjacent[node].points)
+        pts.update(p for p in stat if p <= end)
+        if prune:
+            # Keep a point iff the node could act there: transmit (it has a
+            # neighbor at t) or receive (some neighbor transmitted at t − τ;
+            # for τ = 0 the two coincide).  Span endpoints always stay.
+            tau = tvg.tau
+
+            def useful(t: float) -> bool:
+                if t in (0.0, end):
+                    return True
+                if tvg.neighbors(node, t):
+                    return True
+                return tau > 0.0 and bool(tvg.neighbors(node, t - tau))
+
+            kept = {t for t in pts if useful(t)}
+        else:
+            kept = pts
+        kept.add(0.0)
+        kept.add(end)
+        partitions[node] = Partition(sorted(kept))
+    return DiscreteTimeSet(partitions=partitions, deadline=end, tau=tvg.tau)

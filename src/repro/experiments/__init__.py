@@ -1,0 +1,48 @@
+"""Reproductions of the paper's evaluation (Figures 4–7, Section VII)."""
+
+from .ablation import (
+    allocation_ablation,
+    policy_ablation,
+    pruning_ablation,
+    steiner_ablation,
+)
+from .config import FAST_CONFIG, FULL_CONFIG, ExperimentConfig
+from .export import ascii_chart, read_sweep_csv, sparkline, write_sweep_csv
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig6 import run_fig6
+from .fig7 import run_fig7
+from .harness import (
+    AlgorithmOutcome,
+    Instance,
+    default_trace,
+    evaluate_algorithm,
+    sample_instance,
+)
+from .reporting import SweepResult, format_table, print_sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "FAST_CONFIG",
+    "FULL_CONFIG",
+    "Instance",
+    "AlgorithmOutcome",
+    "default_trace",
+    "sample_instance",
+    "evaluate_algorithm",
+    "SweepResult",
+    "format_table",
+    "print_sweep",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "steiner_ablation",
+    "allocation_ablation",
+    "pruning_ablation",
+    "policy_ablation",
+    "write_sweep_csv",
+    "read_sweep_csv",
+    "sparkline",
+    "ascii_chart",
+]

@@ -1,0 +1,100 @@
+"""Sweep-result persistence and lightweight terminal charts.
+
+Figure reproductions are long-running; this module lets a sweep be saved to
+CSV (one x column + one column per series), reloaded for later analysis,
+and eyeballed as a Unicode sparkline chart without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from ..errors import TraceFormatError
+from .reporting import SweepResult
+
+__all__ = ["write_sweep_csv", "read_sweep_csv", "sparkline", "ascii_chart"]
+
+PathLike = Union[str, Path]
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def write_sweep_csv(result: SweepResult, target: Union[PathLike, TextIO]) -> None:
+    """Write a sweep as CSV: header row, then one row per x value."""
+    owns = isinstance(target, (str, Path))
+    fh = open(target, "w", encoding="utf-8", newline="") if owns else target
+    try:
+        writer = csv.writer(fh)
+        names = result.series_names()
+        writer.writerow(["# " + result.title])
+        writer.writerow([result.x_label] + names)
+        for i, x in enumerate(result.x_values):
+            writer.writerow(
+                [repr(float(x))] + [repr(float(result.series[n][i])) for n in names]
+            )
+    finally:
+        if owns:
+            fh.close()
+
+
+def read_sweep_csv(source: Union[PathLike, TextIO]) -> SweepResult:
+    """Reload a sweep written by :func:`write_sweep_csv`."""
+    owns = isinstance(source, (str, Path))
+    fh = open(source, "r", encoding="utf-8") if owns else source
+    try:
+        reader = csv.reader(fh)
+        rows = [r for r in reader if r]
+    finally:
+        if owns:
+            fh.close()
+    if len(rows) < 2:
+        raise TraceFormatError("sweep CSV needs a title row and a header row")
+    title = rows[0][0].lstrip("# ").strip()
+    header = rows[1]
+    x_label, names = header[0], header[1:]
+    result = SweepResult(title=title, x_label=x_label)
+    for row in rows[2:]:
+        if len(row) != len(header):
+            raise TraceFormatError(f"malformed sweep CSV row: {row!r}")
+        result.add_point(
+            float(row[0]),
+            {n: float(v) for n, v in zip(names, row[1:])},
+        )
+    return result
+
+
+def sparkline(values: List[float]) -> str:
+    """A one-line Unicode sparkline of a series (NaN → space)."""
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in values:
+        if math.isnan(v):
+            out.append(" ")
+        elif span == 0:
+            out.append(_BARS[0])
+        else:
+            idx = int((v - lo) / span * (len(_BARS) - 1))
+            out.append(_BARS[idx])
+    return "".join(out)
+
+
+def ascii_chart(result: SweepResult) -> str:
+    """All series of a sweep as labelled sparklines (quick shape check)."""
+    names = result.series_names()
+    width = max((len(n) for n in names), default=0)
+    lines = [result.title]
+    for n in names:
+        values = result.series[n]
+        finite = [v for v in values if not math.isnan(v)]
+        lo = min(finite) if finite else float("nan")
+        hi = max(finite) if finite else float("nan")
+        lines.append(
+            f"{n:>{width}} |{sparkline(values)}| [{lo:.3g}, {hi:.3g}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Figure 5 — delay–energy tradeoff of all algorithms.
+
+Panel (a): EEDCB vs GREED vs RAND on static channels; panel (b): FR-EEDCB
+vs FR-GREED vs FR-RAND on Rayleigh fading channels.  N = 20, delay sweep
+2000→6000 s.
+
+Expected shape: EEDCB < GREED < RAND (and FR-EEDCB < FR-GREED < FR-RAND) —
+the global optimizer beats the locally greedy relay choice, which beats
+random relay choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.rng import as_generator
+from .config import ExperimentConfig, FAST_CONFIG
+from .fig4 import DELAYS
+from .harness import (
+    default_trace,
+    evaluate_algorithm,
+    mean_or_nan,
+    sample_instance,
+    sample_paired_starts,
+)
+from .reporting import SweepResult, print_sweep
+
+__all__ = ["run_fig5", "STATIC_ALGOS", "FADING_ALGOS"]
+
+STATIC_ALGOS = ("eedcb", "greed", "rand")
+FADING_ALGOS = ("fr-eedcb", "fr-greed", "fr-rand")
+
+
+def run_fig5(
+    channel: str = "static",
+    config: ExperimentConfig = FAST_CONFIG,
+    delays: Sequence[float] = DELAYS,
+) -> SweepResult:
+    """Reproduce Fig. 5(a) (``channel="static"``) or 5(b) (``"rayleigh"``)."""
+    algos = STATIC_ALGOS if channel == "static" else FADING_ALGOS
+    panel = "a" if channel == "static" else "b"
+    result = SweepResult(
+        title=f"Fig. 5({panel}) — normalized energy vs delay constraint, N={config.num_nodes}",
+        x_label="delay (s)",
+    )
+    rng = as_generator(config.seed + 5)
+    trace = default_trace(config.num_nodes, config, int(rng.integers(2**31 - 1)))
+    # Same paired-window design as Fig. 4 (see sample_paired_starts).
+    starts = sample_paired_starts(
+        trace, config, rng, min(delays), max(delays), config.repetitions
+    )
+    for delay in delays:
+        energies: Dict[str, List[float]] = {a: [] for a in algos}
+        for t0 in starts:
+            inst = sample_instance(trace, config, rng, delay=delay, window_start=t0)
+            if inst is None:
+                continue
+            sim_seed = int(rng.integers(2**31 - 1))
+            rand_seed = int(rng.integers(2**31 - 1))
+            for algo in algos:
+                kwargs = {"seed": rand_seed} if "rand" in algo else {}
+                out = evaluate_algorithm(algo, inst, config, sim_seed, **kwargs)
+                if out is not None:
+                    energies[algo].append(out.normalized_energy)
+        result.add_point(
+            delay, {a.upper(): mean_or_nan(energies[a]) for a in algos}
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    for ch in ("static", "rayleigh"):
+        print_sweep(run_fig5(channel=ch))

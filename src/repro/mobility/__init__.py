@@ -1,0 +1,6 @@
+"""Mobility models: random waypoint and position-trace utilities."""
+
+from .positions import PositionTrace
+from .random_waypoint import RandomWaypoint
+
+__all__ = ["PositionTrace", "RandomWaypoint"]

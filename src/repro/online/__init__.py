@@ -1,0 +1,26 @@
+"""Online (non-clairvoyant) forwarding protocols and their engine."""
+
+from .base import ForwardDecision, NodeView, OnlineProtocol
+from .engine import OnlineOutcome, OnlineSummary, run_online, run_online_trials
+from .protocols import (
+    DirectDelivery,
+    Epidemic,
+    Gossip,
+    SprayAndWait,
+    make_protocol,
+)
+
+__all__ = [
+    "OnlineProtocol",
+    "ForwardDecision",
+    "NodeView",
+    "Epidemic",
+    "Gossip",
+    "SprayAndWait",
+    "DirectDelivery",
+    "make_protocol",
+    "run_online",
+    "run_online_trials",
+    "OnlineOutcome",
+    "OnlineSummary",
+]

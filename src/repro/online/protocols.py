@@ -1,0 +1,112 @@
+"""The classic opportunistic forwarding protocols.
+
+* :class:`Epidemic` — forward at every opportunity (Vahdat & Becker).
+  Delivery-optimal among online protocols (it realizes every foremost
+  journey) at maximal energy.
+* :class:`Gossip` — forward with probability ``p`` per opportunity;
+  interpolates between epidemic (p = 1) and direct delivery (p → 0).
+* :class:`SprayAndWait` — binary spray (Spyropoulos et al.): the source
+  starts with ``L`` copy tokens; a carrier with ``k > 1`` tokens hands
+  ⌈k/2⌉ to the receiver; with one token it only delivers directly to the
+  destination-less broadcast analog: it keeps forwarding only to
+  *uninformed* nodes it meets but spawns no further spreaders.
+* :class:`DirectDelivery` — the source alone forwards (the lower envelope).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..errors import SolverError
+from .base import ForwardDecision, NodeView, OnlineProtocol
+
+__all__ = ["Epidemic", "Gossip", "SprayAndWait", "DirectDelivery", "make_protocol"]
+
+Node = Hashable
+
+
+class Epidemic(OnlineProtocol):
+    """Forward at every contact with an uninformed node."""
+
+    name = "epidemic"
+
+    def on_contact(self, carrier: NodeView, other: Node, time: float, rng):
+        return ForwardDecision(transmit=True)
+
+
+class Gossip(OnlineProtocol):
+    """Forward with probability ``p`` per opportunity."""
+
+    name = "gossip"
+
+    def __init__(self, p: float = 0.5):
+        if not (0.0 < p <= 1.0):
+            raise SolverError("gossip probability must be in (0, 1]")
+        self.p = p
+
+    def on_contact(self, carrier: NodeView, other: Node, time: float, rng):
+        return ForwardDecision(transmit=bool(rng.random() < self.p))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gossip(p={self.p:g})"
+
+
+class SprayAndWait(OnlineProtocol):
+    """Binary spray with ``L`` copy tokens.
+
+    A carrier holding ``k ≥ 2`` tokens gives ⌈k/2⌉ to the newly informed
+    node and keeps the rest; a carrier holding 1 token still *informs*
+    whoever it meets (broadcast semantics — there is no single destination
+    to wait for) but hands over no tokens, so the receiver never spreads
+    further.  Token budgets bound the number of active spreaders at ``L``.
+    """
+
+    name = "spray-and-wait"
+
+    def __init__(self, tokens: int = 8):
+        if tokens < 1:
+            raise SolverError("spray-and-wait needs at least one token")
+        self.tokens = tokens
+
+    def initial_tokens(self) -> Optional[int]:
+        return self.tokens
+
+    def on_contact(self, carrier: NodeView, other: Node, time: float, rng):
+        k = carrier.tokens if carrier.tokens is not None else self.tokens
+        if k >= 2:
+            return ForwardDecision(transmit=True, tokens_given=(k + 1) // 2)
+        return ForwardDecision(transmit=True, tokens_given=0)
+
+
+class DirectDelivery(OnlineProtocol):
+    """Only the source ever forwards — the minimal-energy online envelope."""
+
+    name = "direct"
+
+    def __init__(self, source: Node = None):
+        self._source = source
+
+    def bind_source(self, source: Node) -> None:
+        self._source = source
+
+    def on_contact(self, carrier: NodeView, other: Node, time: float, rng):
+        return ForwardDecision(transmit=carrier.node == self._source)
+
+
+_PROTOCOLS = {
+    "epidemic": Epidemic,
+    "gossip": Gossip,
+    "spray-and-wait": SprayAndWait,
+    "direct": DirectDelivery,
+}
+
+
+def make_protocol(name: str, **kwargs) -> OnlineProtocol:
+    """Instantiate an online protocol by name."""
+    try:
+        cls = _PROTOCOLS[name.lower()]
+    except KeyError:
+        raise SolverError(
+            f"unknown protocol {name!r}; choose from {sorted(_PROTOCOLS)}"
+        ) from None
+    return cls(**kwargs)

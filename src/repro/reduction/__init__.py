@@ -1,0 +1,17 @@
+"""Executable hardness reductions (Theorem 4.1 / Corollary 4.1)."""
+
+from .setcover import (
+    SetCoverInstance,
+    exact_set_cover,
+    greedy_set_cover,
+    schedule_to_cover,
+    tmedb_from_set_cover,
+)
+
+__all__ = [
+    "SetCoverInstance",
+    "greedy_set_cover",
+    "exact_set_cover",
+    "tmedb_from_set_cover",
+    "schedule_to_cover",
+]

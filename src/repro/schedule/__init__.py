@@ -1,0 +1,30 @@
+"""Broadcast relay schedules, Eq. (6) probabilities, feasibility (Sec. IV)."""
+
+from .feasibility import FeasibilityReport, check_feasibility
+from .io import read_schedule_csv, write_schedule_csv
+from .probability import (
+    informed_time,
+    is_informed,
+    uninformed_probabilities,
+    uninformed_probability,
+)
+from .reduce import lower_costs, remove_redundant, upgrade_and_prune
+from .schedule import Schedule, Transmission
+from .viz import ascii_timeline
+
+__all__ = [
+    "Transmission",
+    "Schedule",
+    "uninformed_probability",
+    "uninformed_probabilities",
+    "is_informed",
+    "informed_time",
+    "FeasibilityReport",
+    "check_feasibility",
+    "remove_redundant",
+    "lower_costs",
+    "upgrade_and_prune",
+    "write_schedule_csv",
+    "read_schedule_csv",
+    "ascii_timeline",
+]

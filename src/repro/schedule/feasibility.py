@@ -1,0 +1,187 @@
+"""The four TMEDB feasibility conditions (Section IV, decision version).
+
+A schedule ``S`` is *feasible* for instance ``(TVEG, v_s, T, C, ε)`` iff:
+
+(i)   every relay is informed by the time it forwards:
+      ``p_{r_k, t_k} ≤ ε`` for all rows;
+(ii)  every node is eventually informed in time:
+      ``∃ t ≤ T − τ`` with ``p_{i,t} ≤ ε`` for all ``v_i``;
+(iii) broadcast latency is bounded: ``max_k t_k + τ ≤ T``;
+(iv)  the budget holds: ``Σ_k w_k ≤ C`` (only checked when a budget is
+      given — the optimization version minimizes this quantity instead).
+
+**Causal semantics.**  Eq. (6) taken literally admits a τ ≈ 0 artifact:
+two relays transmitting at the same instant could each count the *other's*
+transmission as what informed them — a cycle no physical execution can
+realize (and the Monte-Carlo simulator rightly refuses).  This checker
+therefore *replays* the schedule causally: transmissions at one timestamp
+fire in information-flow order (a fixpoint, so same-instant chains are
+fine), and only transmissions whose relay is already informed contribute to
+anyone's probability.  For any cycle-free schedule the causal and literal
+probabilities coincide, so this is a strict refinement, never a relaxation,
+of the paper's conditions.
+
+:func:`check_feasibility` evaluates all four and returns a structured
+:class:`FeasibilityReport` naming every violation, which the tests and the
+experiment harness use to assert scheduler correctness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..tveg.graph import TVEG
+from .schedule import Schedule, Transmission
+
+__all__ = ["FeasibilityReport", "check_feasibility"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of the four-condition feasibility check."""
+
+    relays_informed: bool            # condition (i)
+    all_informed: bool               # condition (ii)
+    latency_ok: bool                 # condition (iii)
+    budget_ok: bool                  # condition (iv) — True when no budget
+    violations: Tuple[str, ...] = field(default=())
+    #: per-node informed times (inf = never informed)
+    informed_times: Tuple[Tuple[Node, float], ...] = field(default=())
+
+    @property
+    def feasible(self) -> bool:
+        return (
+            self.relays_informed
+            and self.all_informed
+            and self.latency_ok
+            and self.budget_ok
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.feasible:
+            return "FeasibilityReport(feasible)"
+        return "FeasibilityReport(infeasible: " + "; ".join(self.violations) + ")"
+
+
+def _causal_replay(
+    tveg: TVEG,
+    schedule: Schedule,
+    source: Node,
+    eps: float,
+    start_time: float,
+):
+    """Fire the schedule causally; return (informed times, unfired rows).
+
+    Maintains each node's uninformed probability as the product of failure
+    factors of *fired* transmissions only.  Within one timestamp,
+    transmissions fire in fixpoint rounds: a relay informed by an
+    already-fired same-instant transmission may itself fire (Eq. 6 admits
+    ``t_j ≤ t_k``), but mutually dependent pairs never do.
+    """
+    probs: Dict[Node, float] = {n: 1.0 for n in tveg.nodes}
+    informed_at: Dict[Node, float] = {n: math.inf for n in tveg.nodes}
+    probs[source] = 0.0
+    informed_at[source] = start_time
+
+    def is_informed(node: Node) -> bool:
+        return probs[node] <= eps
+
+    unfired: List[Transmission] = []
+    rows = list(schedule)
+    i = 0
+    while i < len(rows):
+        j = i
+        while j < len(rows) and rows[j].time == rows[i].time:
+            j += 1
+        pending = rows[i:j]
+        progress = True
+        while pending and progress:
+            progress = False
+            still = []
+            for s in pending:
+                if s.time >= start_time and is_informed(s.relay):
+                    for v in tveg.neighbors(s.relay, s.time):
+                        if v == s.relay:
+                            continue
+                        if probs[v] > 0.0:
+                            probs[v] *= tveg.failure(s.relay, v, s.time, s.cost)
+                        if probs[v] <= eps and informed_at[v] == math.inf:
+                            informed_at[v] = s.time
+                    progress = True
+                else:
+                    still.append(s)
+            pending = still
+        unfired.extend(pending)
+        i = j
+    return informed_at, unfired
+
+
+def check_feasibility(
+    tveg: TVEG,
+    schedule: Schedule,
+    source: Node,
+    deadline: float,
+    budget: Optional[float] = None,
+    eps: Optional[float] = None,
+    start_time: float = 0.0,
+    targets: Optional[Tuple[Node, ...]] = None,
+) -> FeasibilityReport:
+    """Evaluate conditions (i)–(iv) for ``schedule`` on ``tveg``.
+
+    ``deadline`` is the absolute time ``T`` (not a duration); ``start_time``
+    is when the source acquires the packet.  ``targets`` restricts condition
+    (ii) to a multicast terminal set (default: every node — broadcast).
+    See the module docstring for the causal same-instant semantics.
+    """
+    e = tveg.params.epsilon if eps is None else eps
+    tau = tveg.tau
+    violations: List[str] = []
+
+    informed_at, unfired = _causal_replay(tveg, schedule, source, e, start_time)
+
+    # (i) every relay informed when it transmits (causally)
+    relays_ok = not unfired
+    for s in unfired:
+        violations.append(
+            f"relay {s.relay!r} uninformed at its transmission time "
+            f"{s.time:g} (no causal firing order exists)"
+        )
+
+    # (ii) every target informed by T − τ (all nodes in the broadcast case)
+    required = tveg.nodes if targets is None else targets
+    all_ok = True
+    for node in required:
+        if informed_at[node] > deadline - tau:
+            all_ok = False
+            violations.append(
+                f"node {node!r} not informed by T−τ={deadline - tau:g} "
+                f"(informed at {informed_at[node]:g})"
+            )
+
+    # (iii) latency bound
+    latency_ok = schedule.latency(tau) <= deadline
+    if not latency_ok:
+        violations.append(
+            f"latency {schedule.latency(tau):g} exceeds deadline {deadline:g}"
+        )
+
+    # (iv) budget — over the full scheduled cost, fired or not
+    budget_ok = True
+    if budget is not None and schedule.total_cost > budget:
+        budget_ok = False
+        violations.append(
+            f"total cost {schedule.total_cost:.4g} exceeds budget {budget:.4g}"
+        )
+
+    return FeasibilityReport(
+        relays_informed=relays_ok,
+        all_informed=all_ok,
+        latency_ok=latency_ok,
+        budget_ok=budget_ok,
+        violations=tuple(violations),
+        informed_times=tuple(sorted(informed_at.items(), key=lambda kv: repr(kv[0]))),
+    )

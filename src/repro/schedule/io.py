@@ -1,0 +1,66 @@
+"""Schedule serialization: save a relay schedule, execute it later.
+
+Schedules are written as headered CSV (``relay,time,cost``) so a plan
+computed once (e.g. via ``python -m repro schedule``) can be re-simulated,
+audited, or deployed without re-running the scheduler.  Relay labels are
+stored as strings; pass ``node_type`` (default ``int``) when reading to
+recover the original identifiers.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TextIO, Union
+
+from ..errors import TraceFormatError
+from .schedule import Schedule, Transmission
+
+__all__ = ["write_schedule_csv", "read_schedule_csv"]
+
+PathLike = Union[str, Path]
+
+
+def write_schedule_csv(schedule: Schedule, target: Union[PathLike, TextIO]) -> None:
+    """Write a schedule as ``relay,time,cost`` CSV rows."""
+    owns = isinstance(target, (str, Path))
+    fh = open(target, "w", encoding="utf-8", newline="") if owns else target
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(["relay", "time", "cost"])
+        for s in schedule:
+            writer.writerow([s.relay, repr(float(s.time)), repr(float(s.cost))])
+    finally:
+        if owns:
+            fh.close()
+
+
+def read_schedule_csv(
+    source: Union[PathLike, TextIO], node_type: type = int
+) -> Schedule:
+    """Read a schedule written by :func:`write_schedule_csv`."""
+    owns = isinstance(source, (str, Path))
+    fh = open(source, "r", encoding="utf-8") if owns else source
+    rows = []
+    try:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise TraceFormatError("schedule CSV is empty")
+        missing = {"relay", "time", "cost"} - set(reader.fieldnames)
+        if missing:
+            raise TraceFormatError(f"schedule CSV lacks columns {sorted(missing)}")
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                rows.append(
+                    Transmission(
+                        node_type(row["relay"]),
+                        float(row["time"]),
+                        float(row["cost"]),
+                    )
+                )
+            except (TypeError, ValueError) as exc:
+                raise TraceFormatError(f"row {lineno}: {exc}") from exc
+    finally:
+        if owns:
+            fh.close()
+    return Schedule(rows)

@@ -1,0 +1,15 @@
+"""Monte-Carlo broadcast simulation and Section VII metrics."""
+
+from .metrics import delivery_ratio, normalized_energy, schedule_normalized_energy
+from .runner import SimulationSummary, run_trials
+from .simulator import TrialOutcome, simulate_schedule
+
+__all__ = [
+    "TrialOutcome",
+    "simulate_schedule",
+    "SimulationSummary",
+    "run_trials",
+    "normalized_energy",
+    "schedule_normalized_energy",
+    "delivery_ratio",
+]

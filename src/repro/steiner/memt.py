@@ -1,0 +1,55 @@
+"""Minimum-energy multicast tree facade (Liang's problem [3]).
+
+:func:`solve_memt` is the single entry point the schedulers call: given a
+weighted DAG, a root, and terminals, return a pruned Steiner edge set using
+the selected solver:
+
+* ``"greedy"`` (default) — incremental multi-source Dijkstra grafting; the
+  practical solver used for all paper-scale experiments.
+* ``"sptree"`` — level-1 shortest-path tree; fastest, weakest bound.
+* ``"charikar"`` — the recursive level-``i`` algorithm with the paper's
+  ``O(N^ε)``-family guarantee; small instances only.
+
+Whatever the solver, the result is pruned so every edge lies on a
+root→terminal path.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..errors import SolverError
+from .dst import charikar_dst, greedy_incremental_dst
+from .prune import prune_tree
+from .sptree import shortest_path_tree, tree_cost
+
+__all__ = ["solve_memt", "MEMT_METHODS"]
+
+AuxNode = Hashable
+Edge = Tuple[AuxNode, AuxNode]
+
+MEMT_METHODS = ("greedy", "sptree", "charikar")
+
+
+def solve_memt(
+    graph: nx.DiGraph,
+    root: AuxNode,
+    terminals: Sequence[AuxNode],
+    method: str = "greedy",
+    level: int = 2,
+    max_candidates: Optional[int] = None,
+) -> Set[Edge]:
+    """Solve the MEMT instance and return the pruned Steiner edge set."""
+    if method == "greedy":
+        edges = greedy_incremental_dst(graph, root, terminals)
+    elif method == "sptree":
+        edges = shortest_path_tree(graph, root, terminals)
+    elif method == "charikar":
+        edges = charikar_dst(graph, root, terminals, level, max_candidates)
+    else:
+        raise SolverError(
+            f"unknown MEMT method {method!r}; choose from {MEMT_METHODS}"
+        )
+    return prune_tree(edges, root, terminals)

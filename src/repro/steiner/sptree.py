@@ -1,0 +1,45 @@
+"""Shortest-path-tree Steiner approximation (Charikar level 1).
+
+The union of shortest paths from the root to every terminal.  This is the
+``i = 1`` base case of Charikar's recursive algorithm, with approximation
+ratio ``k`` (number of terminals) — cheap (one Dijkstra) and the baseline
+against which the ablation bench measures the better solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..errors import InfeasibleError
+
+__all__ = ["shortest_path_tree", "tree_cost"]
+
+AuxNode = Hashable
+Edge = Tuple[AuxNode, AuxNode]
+
+
+def shortest_path_tree(
+    graph: nx.DiGraph,
+    root: AuxNode,
+    terminals: Sequence[AuxNode],
+) -> Set[Edge]:
+    """Union of root→terminal shortest paths (weight attribute ``weight``)."""
+    dist, paths = nx.single_source_dijkstra(graph, root, weight="weight")
+    missing = [t for t in terminals if t not in dist]
+    if missing:
+        raise InfeasibleError(
+            f"{len(missing)} terminal(s) unreachable from the root "
+            f"(first: {missing[0]!r})"
+        )
+    edges: Set[Edge] = set()
+    for t in terminals:
+        p = paths[t]
+        edges.update(zip(p, p[1:]))
+    return edges
+
+
+def tree_cost(graph: nx.DiGraph, edges: Set[Edge]) -> float:
+    """Total weight of an edge set."""
+    return float(sum(graph[u][v]["weight"] for u, v in edges))

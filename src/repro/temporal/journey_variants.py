@@ -1,0 +1,135 @@
+"""Shortest and fastest journeys — completing the classic trio of [8].
+
+Bui-Xuan, Ferreira & Jarry define three optimality notions for journeys in
+dynamic networks; *foremost* (earliest arrival) lives in
+:mod:`repro.temporal.journeys`, and this module adds:
+
+* **shortest** — fewest hops among journeys arriving by the horizon,
+  computed by a hop-layered dynamic program over earliest arrivals
+  (``A_k(v)`` = earliest arrival at ``v`` using at most ``k`` hops);
+* **fastest** — minimum duration ``arrival − departure`` over all departure
+  times, computed by re-running the foremost search from every candidate
+  departure.  An optimal departure always lets the *first hop* leave
+  immediately, and that hop departs either at an adjacency boundary or
+  exactly ``τ`` before its successor's departure — so the complete
+  candidate set is ``{boundary − k·τ : k < N}`` over all pairs' adjacency
+  boundaries (just the boundaries when τ = 0).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..errors import GraphModelError
+from .journeys import Hop, Journey, _earliest_departure, foremost_journey
+from .tvg import TVG
+
+__all__ = ["shortest_journey", "fastest_journey"]
+
+Node = Hashable
+
+
+def shortest_journey(
+    tvg: TVG,
+    source: Node,
+    destination: Node,
+    start_time: float = 0.0,
+    deadline: Optional[float] = None,
+) -> Optional[Journey]:
+    """A minimum-hop journey arriving by ``deadline`` (default: horizon).
+
+    Among journeys of that minimum hop count, the returned one is earliest-
+    arriving (the DP propagates earliest arrivals layer by layer).
+    """
+    if not tvg.has_node(source) or not tvg.has_node(destination):
+        raise GraphModelError("unknown source or destination")
+    if source == destination:
+        raise GraphModelError("source and destination coincide")
+    end = tvg.horizon if deadline is None else min(deadline, tvg.horizon)
+    tau = tvg.tau
+
+    # A[v] = earliest arrival using ≤ k hops; pred[v][k] = best last hop.
+    arrival: Dict[Node, float] = {n: math.inf for n in tvg.nodes}
+    arrival[source] = start_time
+    pred: Dict[Tuple[Node, int], Hop] = {}
+
+    for k in range(1, tvg.num_nodes):
+        updated: Dict[Node, float] = {}
+        for u in tvg.nodes:
+            if not math.isfinite(arrival[u]):
+                continue
+            for v in tvg.incident(u):
+                dep = _earliest_departure(tvg, u, v, arrival[u])
+                if not math.isfinite(dep):
+                    continue
+                arr = dep + tau
+                if arr > end:
+                    continue
+                if arr < arrival[v] and arr < updated.get(v, math.inf):
+                    updated[v] = arr
+                    pred[(v, k)] = Hop(u, v, dep)
+        for v, arr in updated.items():
+            if arr < arrival[v]:
+                arrival[v] = arr
+        if math.isfinite(arrival[destination]):
+            # reconstruct backwards through decreasing layers
+            hops: List[Hop] = []
+            node, layer = destination, k
+            while node != source:
+                while (node, layer) not in pred:
+                    layer -= 1
+                    if layer == 0:
+                        raise GraphModelError("predecessor chain broken")
+                hop = pred[(node, layer)]
+                hops.append(hop)
+                node = hop.tail
+                layer -= 1
+            hops.reverse()
+            return Journey(hops)
+    return None
+
+
+def fastest_journey(
+    tvg: TVG,
+    source: Node,
+    destination: Node,
+    start_time: float = 0.0,
+) -> Optional[Journey]:
+    """A minimum-duration journey (``arrival − departure``), any departure.
+
+    See the module docstring for why the candidate departure set
+    ``{adjacency boundary − k·τ}`` (all pairs, ``k < N``) is complete.
+    """
+    if not tvg.has_node(source) or not tvg.has_node(destination):
+        raise GraphModelError("unknown source or destination")
+    if source == destination:
+        raise GraphModelError("source and destination coincide")
+
+    tau = tvg.tau
+    boundaries = set()
+    for (a, b), pres in tvg.edges_with_presence():
+        boundaries.update(
+            pres.erode(tau).boundaries_within(start_time, tvg.horizon)
+        )
+    candidates = {start_time}
+    for t in boundaries:
+        shifted = t
+        candidates.add(shifted)
+        if tau > 0:
+            for _ in range(tvg.num_nodes - 1):
+                shifted -= tau
+                if shifted < start_time:
+                    break
+                candidates.add(shifted)
+
+    best: Optional[Journey] = None
+    best_duration = math.inf
+    for dep_time in sorted(candidates):
+        j = foremost_journey(tvg, source, destination, dep_time)
+        if j is None:
+            continue
+        duration = j.arrival(tvg.tau) - j.departure
+        if duration < best_duration:
+            best, best_duration = j, duration
+    return best

@@ -1,0 +1,31 @@
+"""Contact traces: model, parsing, synthesis, distance enrichment, stats."""
+
+from .enrich import ContactDistanceProvider, DistanceModel
+from .model import Contact, ContactTrace
+from .parser import load_trace, parse_crawdad, parse_csv
+from .stats import TraceStats, summarize
+from .synthetic import (
+    HaggleLikeConfig,
+    deterministic_trace,
+    haggle_like_trace,
+    uniform_trace,
+)
+from .writer import write_crawdad, write_csv
+
+__all__ = [
+    "Contact",
+    "ContactTrace",
+    "parse_crawdad",
+    "parse_csv",
+    "load_trace",
+    "write_crawdad",
+    "write_csv",
+    "HaggleLikeConfig",
+    "haggle_like_trace",
+    "uniform_trace",
+    "deterministic_trace",
+    "DistanceModel",
+    "ContactDistanceProvider",
+    "TraceStats",
+    "summarize",
+]

@@ -1,0 +1,123 @@
+"""Contact-trace file parsing.
+
+Two on-disk formats are supported:
+
+* **CRAWDAD one-contact-per-line** — the format the Haggle project's iMote
+  contact traces are distributed in: whitespace-separated
+  ``<id1> <id2> <start> <end> [extra columns ignored]``, ``#`` comments.
+* **CSV** — headered ``u,v,start,end`` with optional extra columns.
+
+Both return a :class:`~repro.traces.model.ContactTrace`, so a real Haggle
+trace file drops into every experiment in place of the synthetic generator.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO, Union
+
+from ..errors import TraceFormatError
+from .model import Contact, ContactTrace
+
+__all__ = ["parse_crawdad", "parse_csv", "load_trace"]
+
+PathLike = Union[str, Path]
+
+
+def _open_text(source: Union[PathLike, TextIO]) -> TextIO:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8")
+    return source
+
+
+def parse_crawdad(
+    source: Union[PathLike, TextIO],
+    node_type: type = int,
+    horizon: Optional[float] = None,
+) -> ContactTrace:
+    """Parse a CRAWDAD-style one-contact-per-line trace.
+
+    Lines are ``id1 id2 start end`` (extra trailing columns — sequence
+    numbers etc. — are ignored); blank lines and ``#`` comments are skipped.
+    """
+    fh = _open_text(source)
+    owns = isinstance(source, (str, Path))
+    contacts: List[Contact] = []
+    try:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 4:
+                raise TraceFormatError(
+                    f"line {lineno}: expected at least 4 columns, got {len(parts)}"
+                )
+            try:
+                u = node_type(parts[0])
+                v = node_type(parts[1])
+                start = float(parts[2])
+                end = float(parts[3])
+            except ValueError as exc:
+                raise TraceFormatError(f"line {lineno}: {exc}") from exc
+            if u == v:
+                continue  # some traces log spurious self-sightings
+            if end < start:
+                raise TraceFormatError(
+                    f"line {lineno}: contact end {end} precedes start {start}"
+                )
+            contacts.append(Contact(start, end, u, v))
+    finally:
+        if owns:
+            fh.close()
+    return ContactTrace(contacts, horizon=horizon)
+
+
+def parse_csv(
+    source: Union[PathLike, TextIO],
+    node_type: type = int,
+    horizon: Optional[float] = None,
+) -> ContactTrace:
+    """Parse a headered CSV trace with columns ``u, v, start, end``."""
+    fh = _open_text(source)
+    owns = isinstance(source, (str, Path))
+    contacts: List[Contact] = []
+    try:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise TraceFormatError("CSV trace is empty")
+        required = {"u", "v", "start", "end"}
+        missing = required - {f.strip().lower() for f in reader.fieldnames}
+        if missing:
+            raise TraceFormatError(f"CSV trace lacks columns {sorted(missing)}")
+        for lineno, row in enumerate(reader, start=2):
+            norm = {k.strip().lower(): v for k, v in row.items() if k}
+            try:
+                contacts.append(
+                    Contact(
+                        float(norm["start"]),
+                        float(norm["end"]),
+                        node_type(norm["u"]),
+                        node_type(norm["v"]),
+                    )
+                )
+            except (ValueError, KeyError, TraceFormatError) as exc:
+                raise TraceFormatError(f"row {lineno}: {exc}") from exc
+    finally:
+        if owns:
+            fh.close()
+    return ContactTrace(contacts, horizon=horizon)
+
+
+def load_trace(
+    path: PathLike,
+    node_type: type = int,
+    horizon: Optional[float] = None,
+) -> ContactTrace:
+    """Load a trace, dispatching on file extension (.csv → CSV, else CRAWDAD)."""
+    p = Path(path)
+    if p.suffix.lower() == ".csv":
+        return parse_csv(p, node_type=node_type, horizon=horizon)
+    return parse_crawdad(p, node_type=node_type, horizon=horizon)

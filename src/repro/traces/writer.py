@@ -1,0 +1,40 @@
+"""Contact-trace serialization (round-trips with :mod:`repro.traces.parser`)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TextIO, Union
+
+from .model import ContactTrace
+
+__all__ = ["write_crawdad", "write_csv"]
+
+PathLike = Union[str, Path]
+
+
+def write_crawdad(trace: ContactTrace, target: Union[PathLike, TextIO]) -> None:
+    """Write a trace in CRAWDAD one-contact-per-line format."""
+    owns = isinstance(target, (str, Path))
+    fh = open(target, "w", encoding="utf-8") if owns else target
+    try:
+        fh.write("# u v start end\n")
+        for c in trace:
+            fh.write(f"{c.u} {c.v} {c.start:.6f} {c.end:.6f}\n")
+    finally:
+        if owns:
+            fh.close()
+
+
+def write_csv(trace: ContactTrace, target: Union[PathLike, TextIO]) -> None:
+    """Write a trace as headered CSV (``u,v,start,end``)."""
+    owns = isinstance(target, (str, Path))
+    fh = open(target, "w", encoding="utf-8", newline="") if owns else target
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(["u", "v", "start", "end"])
+        for c in trace:
+            writer.writerow([c.u, c.v, f"{c.start:.6f}", f"{c.end:.6f}"])
+    finally:
+        if owns:
+            fh.close()

@@ -1,0 +1,14 @@
+"""Time-varying energy-demand graphs (Definition 3.2) and cost sets."""
+
+from .builders import make_channel, tveg_from_trace
+from .costsets import DiscreteCostSet, discrete_cost_set
+from .graph import TVEG, DistanceProvider
+
+__all__ = [
+    "TVEG",
+    "DistanceProvider",
+    "DiscreteCostSet",
+    "discrete_cost_set",
+    "tveg_from_trace",
+    "make_channel",
+]

@@ -1,0 +1,66 @@
+"""One-call TVEG construction from traces and mobility models."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..channels.models import (
+    ChannelModel,
+    NakagamiChannel,
+    RayleighChannel,
+    RicianChannel,
+    StaticChannel,
+)
+from ..core.rng import SeedLike
+from ..errors import GraphModelError
+from ..params import PAPER_PARAMS, PhyParams
+from ..traces.enrich import DistanceModel
+from ..traces.model import ContactTrace
+from .graph import TVEG
+
+__all__ = ["tveg_from_trace", "make_channel"]
+
+_CHANNELS = {
+    "static": StaticChannel,
+    "rayleigh": RayleighChannel,
+    "rician": RicianChannel,
+    "nakagami": NakagamiChannel,
+}
+
+
+def make_channel(
+    channel: Union[str, ChannelModel],
+    params: PhyParams = PAPER_PARAMS,
+) -> ChannelModel:
+    """Resolve a channel spec (name or instance) to a :class:`ChannelModel`."""
+    if isinstance(channel, ChannelModel):
+        return channel
+    try:
+        cls = _CHANNELS[channel]
+    except KeyError:
+        raise GraphModelError(
+            f"unknown channel {channel!r}; choose from {sorted(_CHANNELS)}"
+        ) from None
+    return cls(params)
+
+
+def tveg_from_trace(
+    trace: ContactTrace,
+    channel: Union[str, ChannelModel] = "static",
+    params: PhyParams = PAPER_PARAMS,
+    distance_model: Optional[DistanceModel] = None,
+    tau: float = 0.0,
+    seed: SeedLike = None,
+) -> TVEG:
+    """Build a TVEG from a contact trace in one call.
+
+    This is the standard experiment pipeline: trace → TVG (topology),
+    :class:`~repro.traces.enrich.DistanceModel` → distances, channel model →
+    ED-functions.  The same ``seed`` always yields the same distances, so
+    static and fading runs over one trace see identical geometry — the
+    paper's Figs. 5/6 comparisons rely on this.
+    """
+    tvg = trace.to_tvg(tau=tau)
+    dm = distance_model or DistanceModel()
+    provider = dm.attach(trace, seed=seed)
+    return TVEG(tvg, make_channel(channel, params), provider)

@@ -1,0 +1,109 @@
+"""Discrete cost sets (Section VI-A).
+
+At a time ``t`` a node ``v_i`` with ``m`` adjacent nodes has minimum costs
+``w¹ ≤ w² ≤ ... ≤ w^m`` to them; Proposition 6.1 shows an optimal schedule
+only ever transmits at one of these values, so the continuous cost set
+collapses to the *discrete cost set* ``W^di_{i,t} = {w¹, ..., w^m}``.
+Property 6.1(i) — the broadcast nature — says transmitting at ``w^k``
+informs every neighbor whose minimum cost is ≤ ``w^k``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence, Tuple
+
+from ..errors import ScheduleError
+from .graph import TVEG
+
+__all__ = ["DiscreteCostSet", "discrete_cost_set"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class DiscreteCostSet:
+    """The DCS of one node at one time: per-neighbor minimum costs.
+
+    ``entries`` are ``(cost, neighbor)`` sorted ascending by cost.
+    """
+
+    node: Node
+    time: float
+    entries: Tuple[Tuple[float, Node], ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    @property
+    def costs(self) -> Tuple[float, ...]:
+        """The discrete cost levels ``w¹ ≤ ... ≤ w^m``."""
+        return tuple(c for c, _ in self.entries)
+
+    @property
+    def neighbors(self) -> Tuple[Node, ...]:
+        return tuple(n for _, n in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    def coverage(self, w: float) -> Tuple[Node, ...]:
+        """Neighbors informed by transmitting at cost ``w`` (Property 6.1(i))."""
+        return tuple(n for c, n in self.entries if c <= w)
+
+    def round_down(self, w: float) -> float:
+        """The largest DCS level ≤ ``w`` (Property 6.1(ii)'s rounding).
+
+        Raises :class:`ScheduleError` if ``w`` is below every level (the
+        transmission would inform nobody).
+        """
+        best = None
+        for c, _ in self.entries:
+            if c <= w:
+                best = c
+            else:
+                break
+        if best is None:
+            raise ScheduleError(
+                f"cost {w!r} is below the smallest DCS level of node "
+                f"{self.node!r} at t={self.time!r}"
+            )
+        return best
+
+    def cost_to_cover(self, targets: Iterable[Node]) -> float:
+        """Smallest DCS level informing all ``targets``; ``inf`` if any
+        target is not adjacent at this time."""
+        targets = set(targets)
+        if not targets:
+            return 0.0
+        need = -math.inf
+        seen = set()
+        for c, n in self.entries:
+            if n in targets:
+                need = max(need, c)
+                seen.add(n)
+        if seen != targets:
+            return math.inf
+        return need
+
+    def level_index(self, w: float) -> int:
+        """Index ``k`` (0-based) of an exact DCS level ``w``."""
+        for k, (c, _) in enumerate(self.entries):
+            if c == w:
+                return k
+        raise ScheduleError(f"{w!r} is not a DCS level of node {self.node!r}")
+
+
+def discrete_cost_set(tveg: TVEG, node: Node, t: float) -> DiscreteCostSet:
+    """Compute the DCS of ``node`` at time ``t`` from the TVEG.
+
+    Neighbors whose backbone cost is infinite (should not happen for
+    adjacent links) are dropped defensively.
+    """
+    entries = tuple(
+        (c, v) for v, c in tveg.neighbor_costs(node, t) if math.isfinite(c)
+    )
+    return DiscreteCostSet(node=node, time=t, entries=entries)

@@ -1,0 +1,157 @@
+"""Time-varying energy-demand graphs (Definition 3.2).
+
+A TVEG extends a TVG by embedding an ED-function on every edge at every
+time: ``G_F = (V, E, T, F, ρ, ζ, ψ)``.  Concretely the cost function ``ψ`` is
+realized by composing a :class:`~repro.channels.models.ChannelModel` (which
+turns a link distance into an ED-function) with a *distance provider* (which
+answers ``d_{i,j,t}`` for any time inside a contact).  Querying an edge that
+is not adjacent at ``t`` yields :class:`~repro.channels.base.AbsentED`
+(Property 3.1(iii)).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, List, Optional, Tuple
+
+from ..channels.base import AbsentED, EDFunction
+from ..channels.models import ChannelModel
+from ..errors import GraphModelError
+from ..params import PhyParams
+from ..temporal.tvg import TVG
+
+__all__ = ["TVEG", "DistanceProvider"]
+
+Node = Hashable
+#: Anything answering ``distance(u, v, t) -> float`` for in-contact queries.
+DistanceProvider = Callable[[Node, Node, float], float]
+
+
+class TVEG:
+    """A TVG whose edges carry energy-demand functions.
+
+    Parameters
+    ----------
+    tvg:
+        The underlying time-varying graph (topology over time).
+    channel:
+        The channel model providing ``ψ``: distance → ED-function.
+    distances:
+        A distance provider; must answer for every (pair, time) at which the
+        pair is in contact.  See :class:`~repro.traces.enrich.DistanceModel`
+        and :mod:`repro.mobility` for the two standard sources.
+    """
+
+    def __init__(
+        self,
+        tvg: TVG,
+        channel: ChannelModel,
+        distances: DistanceProvider,
+    ) -> None:
+        self._tvg = tvg
+        self._channel = channel
+        self._distances = distances
+        # Per-contact cost cache: valid only when the provider certifies the
+        # distance constant across each contact (the default trace pipeline);
+        # keyed by (edge, presence-interval start).
+        self._cost_cacheable = bool(
+            getattr(distances, "constant_within_contacts", False)
+        )
+        self._cost_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # passthrough topology accessors
+    # ------------------------------------------------------------------
+    @property
+    def tvg(self) -> TVG:
+        return self._tvg
+
+    @property
+    def channel(self) -> ChannelModel:
+        return self._channel
+
+    @property
+    def params(self) -> PhyParams:
+        return self._channel.params
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return self._tvg.nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return self._tvg.num_nodes
+
+    @property
+    def horizon(self) -> float:
+        return self._tvg.horizon
+
+    @property
+    def tau(self) -> float:
+        return self._tvg.tau
+
+    @property
+    def is_fading(self) -> bool:
+        return self._channel.is_fading
+
+    def adjacent(self, u: Node, v: Node, t: float) -> bool:
+        """The paper's adjacency predicate ``ρ_τ(e_{u,v}, t) = 1``."""
+        return self._tvg.rho_tau(u, v, t)
+
+    def neighbors(self, node: Node, t: float) -> Tuple[Node, ...]:
+        return self._tvg.neighbors(node, t)
+
+    # ------------------------------------------------------------------
+    # energy-demand queries (ψ of Definition 3.2)
+    # ------------------------------------------------------------------
+    def distance(self, u: Node, v: Node, t: float) -> float:
+        """Link distance ``d_{u,v,t}``; only defined while in contact."""
+        return self._distances(u, v, t)
+
+    def ed(self, u: Node, v: Node, t: float) -> EDFunction:
+        """The ED-function ``φ_t^{e_{u,v}}`` (AbsentED when not adjacent)."""
+        if not self.adjacent(u, v, t):
+            return AbsentED()
+        return self._channel.ed_from_distance(self.distance(u, v, t))
+
+    def failure(self, u: Node, v: Node, t: float, w: float) -> float:
+        """``φ_t^{e_{u,v}}(w)`` — single-transmission failure probability."""
+        return self.ed(u, v, t).failure(w)
+
+    def _backbone_weight_at(self, u: Node, v: Node, t: float) -> float:
+        """Backbone cost of an adjacent link, with per-contact caching."""
+        if not self._cost_cacheable:
+            return self._channel.backbone_weight(self.distance(u, v, t))
+        from ..temporal.tvg import edge_key
+
+        key = edge_key(u, v)
+        start = self._tvg.presence(u, v).interval_at(t).start
+        cached = self._cost_cache.get((key, start))
+        if cached is None:
+            cached = self._channel.backbone_weight(self.distance(u, v, t))
+            self._cost_cache[(key, start)] = cached
+        return cached
+
+    def min_cost(self, u: Node, v: Node, t: float) -> float:
+        """The link's backbone cost at ``t`` (Section VI), ``inf`` if absent.
+
+        For static channels this is Eq. (2)'s minimum cost
+        ``N0·B·γ_th / h``; for fading channels it is ``w0``, the cost that
+        pins single-hop failure at the acceptable error rate ε.
+        """
+        if not self.adjacent(u, v, t):
+            return math.inf
+        return self._backbone_weight_at(u, v, t)
+
+    def neighbor_costs(self, node: Node, t: float) -> List[Tuple[Node, float]]:
+        """``(neighbor, backbone cost)`` for all nodes adjacent at ``t``,
+        sorted ascending by cost — the raw material of the DCS."""
+        out = [
+            (v, self._backbone_weight_at(node, v, t))
+            for v in self.neighbors(node, t)
+        ]
+        out.sort(key=lambda item: (item[1], repr(item[0])))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TVEG({self._tvg!r}, channel={self._channel!r})"

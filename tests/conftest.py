@@ -1,0 +1,56 @@
+"""Shared fixtures: deterministic instances and small random traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channels import RayleighChannel, StaticChannel
+from repro.params import PAPER_PARAMS
+from repro.traces import DistanceModel, deterministic_trace, uniform_trace
+from repro.tveg import TVEG, tveg_from_trace
+
+
+@pytest.fixture
+def det_trace():
+    """The fixed 4-node trace with hand-checkable schedules."""
+    return deterministic_trace()
+
+
+@pytest.fixture
+def det_tvg(det_trace):
+    return det_trace.to_tvg()
+
+
+@pytest.fixture
+def det_static(det_trace):
+    """Static-channel TVEG on the deterministic trace (seeded distances)."""
+    return tveg_from_trace(det_trace, "static", seed=1)
+
+
+@pytest.fixture
+def det_fading(det_trace):
+    """Rayleigh TVEG sharing the deterministic trace (seeded distances)."""
+    return tveg_from_trace(det_trace, "rayleigh", seed=1)
+
+
+@pytest.fixture
+def paired_tvegs(det_trace):
+    """Static + fading TVEGs sharing one distance provider (same geometry)."""
+    tvg = det_trace.to_tvg()
+    provider = DistanceModel().attach(det_trace, seed=1)
+    return (
+        TVEG(tvg, StaticChannel(PAPER_PARAMS), provider),
+        TVEG(tvg, RayleighChannel(PAPER_PARAMS), provider),
+    )
+
+
+def make_random_instance(num_nodes=6, horizon=300.0, seed=0, channel="static"):
+    """A small random instance helper used across algorithm tests."""
+    trace = uniform_trace(
+        num_nodes=num_nodes,
+        horizon=horizon,
+        mean_gap=80.0,
+        mean_duration=40.0,
+        seed=seed,
+    )
+    return trace, tveg_from_trace(trace, channel, seed=seed)

@@ -1,0 +1,227 @@
+"""Energy allocation (Eqs. 14–17): problem build, all three solvers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    AllocationProblem,
+    Constraint,
+    balanced_allocation,
+    build_allocation_problem,
+    closed_form_allocation,
+    coordinate_descent_allocation,
+    solve_allocation,
+)
+from repro.errors import InfeasibleError, SolverError
+from repro.schedule import Schedule, Transmission
+
+
+def _problem(constraints, eps=0.01, w_max=math.inf):
+    return AllocationProblem(
+        num_vars=max(k for c in constraints for k, _ in c.terms) + 1,
+        constraints=list(constraints),
+        log_eps=math.log(eps),
+        w_min=0.0,
+        w_max=w_max,
+    )
+
+
+class TestProblemStructure:
+    def test_build_from_backbone(self, det_fading):
+        w01 = det_fading.min_cost(0, 1, 15.0)
+        w03 = det_fading.min_cost(0, 3, 15.0)
+        w12 = det_fading.min_cost(1, 2, 25.0)
+        backbone = Schedule(
+            [Transmission(0, 15.0, max(w01, w03)), Transmission(1, 25.0, w12)]
+        )
+        prob = build_allocation_problem(det_fading, backbone, 0)
+        assert prob.num_vars == 2
+        # constraints: nodes 1, 2, 3 (Eq. 15) + relay 1 at t=25 (Eq. 16)
+        labels = [c.label for c in prob.constraints]
+        assert sum(l.startswith("node:") for l in labels) == 3
+        assert sum(l.startswith("relay:") for l in labels) == 1
+
+    def test_uncovered_node_infeasible(self, det_fading):
+        backbone = Schedule([Transmission(0, 15.0, 1.0)])
+        with pytest.raises(InfeasibleError):
+            build_allocation_problem(det_fading, backbone, 0)
+
+    def test_uninformable_relay_infeasible(self, det_fading):
+        w0 = max(det_fading.min_cost(0, 1, 15.0), det_fading.min_cost(0, 3, 15.0))
+        # relay 2 transmits at 45, but the only transmission that could reach
+        # it (from 1 on contact [20,50)) happens later, at 46 → Eq. (16) has
+        # no terms for the relay row and the problem is infeasible.
+        backbone = Schedule(
+            [
+                Transmission(0, 15.0, w0),
+                Transmission(2, 45.0, 1.0),
+                Transmission(1, 46.0, 1.0),
+            ]
+        )
+        with pytest.raises(InfeasibleError):
+            build_allocation_problem(det_fading, backbone, 0)
+
+    def test_static_channel_rejected(self, det_static):
+        with pytest.raises(SolverError):
+            build_allocation_problem(det_static, Schedule.empty(), 0)
+
+    def test_residuals_and_feasibility(self):
+        prob = _problem([Constraint("c", ((0, 2.0),))])
+        w_ok = np.array([prob.min_single_cost(2.0) * 1.01])
+        w_bad = np.array([prob.min_single_cost(2.0) * 0.5])
+        assert prob.is_feasible(w_ok)
+        assert not prob.is_feasible(w_bad)
+        assert prob.residuals(w_ok)[0] > 0
+        assert prob.residuals(w_bad)[0] < 0
+
+
+class TestClosedForm:
+    def test_single_constraint_exact(self):
+        prob = _problem([Constraint("c", ((0, 2.0),))])
+        w = closed_form_allocation(prob)
+        # alone on the constraint: w = β / ln(1/(1−ε))
+        assert w[0] == pytest.approx(2.0 / math.log(1 / 0.99))
+
+    def test_designates_cheapest_beta(self):
+        # variable 1 has the smaller β → designated; variable 0 stays at lb
+        prob = _problem([Constraint("c", ((0, 5.0), (1, 2.0)))])
+        w = closed_form_allocation(prob)
+        assert w[1] > w[0]
+        assert prob.is_feasible(w)
+
+    def test_max_over_constraints(self):
+        prob = _problem(
+            [Constraint("a", ((0, 2.0),)), Constraint("b", ((0, 7.0),))]
+        )
+        w = closed_form_allocation(prob)
+        assert w[0] == pytest.approx(7.0 / math.log(1 / 0.99))
+
+    def test_always_feasible(self):
+        prob = _problem(
+            [
+                Constraint("a", ((0, 2.0), (1, 3.0))),
+                Constraint("b", ((1, 1.0), (2, 4.0))),
+                Constraint("c", ((0, 6.0),)),
+            ]
+        )
+        assert prob.is_feasible(closed_form_allocation(prob))
+
+
+class TestCoordinateDescent:
+    def test_never_worse_than_start(self):
+        prob = _problem(
+            [
+                Constraint("a", ((0, 2.0), (1, 3.0))),
+                Constraint("b", ((1, 1.0), (2, 4.0))),
+            ]
+        )
+        w0 = closed_form_allocation(prob)
+        w = coordinate_descent_allocation(prob, w0)
+        assert prob.is_feasible(w)
+        assert w.sum() <= w0.sum() + 1e-12
+
+    def test_requires_feasible_start(self):
+        prob = _problem([Constraint("c", ((0, 2.0),))])
+        with pytest.raises(InfeasibleError):
+            coordinate_descent_allocation(prob, np.array([1e-20]))
+
+    def test_monotone_never_worse(self):
+        # Coordinate descent is a descent method: from any feasible start it
+        # must never increase the objective (even under float noise).
+        prob = _problem([Constraint("c", ((0, 2.0), (1, 2.0)))])
+        w_closed = closed_form_allocation(prob)
+        w = coordinate_descent_allocation(prob, w_closed)
+        assert prob.is_feasible(w)
+        assert w.sum() <= w_closed.sum()
+
+    def test_unconstrained_variable_floors(self):
+        prob = _problem([Constraint("c", ((0, 2.0),))])
+        prob2 = AllocationProblem(
+            num_vars=2,
+            constraints=prob.constraints,
+            log_eps=prob.log_eps,
+            w_min=0.0,
+            w_max=math.inf,
+        )
+        w = coordinate_descent_allocation(prob2, closed_form_allocation(prob2))
+        assert w[1] == prob2.lb
+
+
+class TestBalanced:
+    def test_always_feasible(self):
+        prob = _problem(
+            [
+                Constraint("a", ((0, 2.0), (1, 3.0))),
+                Constraint("b", ((1, 1.0), (2, 4.0))),
+                Constraint("c", ((0, 6.0),)),
+            ]
+        )
+        assert prob.is_feasible(balanced_allocation(prob))
+
+    def test_symmetric_split_is_optimal(self):
+        # two identical transmissions → equal split: (1−e^{−β/w})² = ε
+        import math
+
+        prob = _problem([Constraint("c", ((0, 2.0), (1, 2.0)))])
+        w = balanced_allocation(prob)
+        expected = 2.0 / math.log(1.0 / (1.0 - 0.1))  # per-term target √ε=0.1
+        assert w[0] == pytest.approx(expected)
+        assert w[1] == pytest.approx(expected)
+
+
+class TestSolveAllocation:
+    def test_exploits_overlap(self):
+        # Two transmissions both covering one node: sharing the failure
+        # budget (≈19 each) must beat the single-designee closed form
+        # (≈199) by a wide margin.
+        prob = _problem([Constraint("c", ((0, 2.0), (1, 2.0)))])
+        res = solve_allocation(prob)
+        w_closed = closed_form_allocation(prob)
+        assert prob.is_feasible(res.costs)
+        assert res.total < 0.3 * float(w_closed.sum())
+
+    def test_returns_feasible_best(self):
+        prob = _problem(
+            [
+                Constraint("a", ((0, 2.0), (1, 3.0))),
+                Constraint("b", ((1, 1.0), (2, 4.0))),
+            ]
+        )
+        res = solve_allocation(prob)
+        assert prob.is_feasible(res.costs)
+        assert res.total == pytest.approx(float(res.costs.sum()))
+        assert res.method in ("slsqp", "coordinate", "closed_form", "balanced")
+
+    def test_disjoint_singletons_match_closed_form(self):
+        # One transmission per node: the closed form is provably optimal.
+        prob = _problem(
+            [Constraint("a", ((0, 2.0),)), Constraint("b", ((1, 5.0),))]
+        )
+        res = solve_allocation(prob)
+        w_closed = closed_form_allocation(prob)
+        assert res.total == pytest.approx(float(w_closed.sum()), rel=1e-6)
+
+    def test_never_worse_than_closed_form(self, det_fading):
+        w01 = det_fading.min_cost(0, 1, 15.0)
+        w03 = det_fading.min_cost(0, 3, 15.0)
+        w12 = det_fading.min_cost(1, 2, 25.0)
+        backbone = Schedule(
+            [Transmission(0, 15.0, max(w01, w03)), Transmission(1, 25.0, w12)]
+        )
+        prob = build_allocation_problem(det_fading, backbone, 0)
+        res = solve_allocation(prob)
+        assert res.total <= float(closed_form_allocation(prob).sum()) + 1e-18
+
+    def test_without_slsqp(self):
+        prob = _problem([Constraint("a", ((0, 2.0), (1, 2.0)))])
+        res = solve_allocation(prob, use_slsqp=False)
+        assert prob.is_feasible(res.costs)
+        assert res.method in ("coordinate", "closed_form", "balanced")
+
+    def test_w_max_binding(self):
+        need = 2.0 / math.log(1 / 0.99)  # unconstrained requirement
+        prob = _problem([Constraint("c", ((0, 2.0),))], w_max=need / 2)
+        with pytest.raises(InfeasibleError):
+            solve_allocation(prob)

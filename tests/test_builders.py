@@ -1,0 +1,60 @@
+"""TVG constructors: from contacts, snapshots, and annotated networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.core.intervals import IntervalSet
+from repro.errors import GraphModelError
+from repro.temporal import from_contacts, from_networkx, from_snapshots
+
+
+class TestFromContacts:
+    def test_basic(self):
+        tvg = from_contacts([(0, 1, 0.0, 5.0), (1, 2, 3.0, 8.0)])
+        assert tvg.num_nodes == 3
+        assert tvg.horizon == 8.0
+        assert tvg.rho(0, 1, 2.0)
+
+    def test_explicit_nodes_and_horizon(self):
+        tvg = from_contacts([(0, 1, 0.0, 5.0)], horizon=100.0, nodes=[0, 1, 2, 3])
+        assert tvg.num_nodes == 4
+        assert tvg.horizon == 100.0
+
+    def test_empty_needs_horizon(self):
+        with pytest.raises(GraphModelError):
+            from_contacts([])
+        tvg = from_contacts([], horizon=10.0, nodes=[0, 1])
+        assert tvg.num_edges() == 0
+
+
+class TestFromSnapshots:
+    def test_consecutive_snapshots_merge(self):
+        g1 = nx.Graph([(0, 1)])
+        g2 = nx.Graph([(0, 1), (1, 2)])
+        g3 = nx.Graph([(1, 2)])
+        tvg = from_snapshots([g1, g2, g3], slot_duration=10.0)
+        assert tvg.horizon == 30.0
+        assert tvg.presence(0, 1).pairs == ((0.0, 20.0),)
+        assert tvg.presence(1, 2).pairs == ((10.0, 30.0),)
+
+    def test_validation(self):
+        with pytest.raises(GraphModelError):
+            from_snapshots([], 10.0)
+        with pytest.raises(GraphModelError):
+            from_snapshots([nx.Graph([(0, 1)])], 0.0)
+
+
+class TestFromNetworkx:
+    def test_interval_attributes(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, presence=[(0.0, 5.0), (8.0, 9.0)])
+        g.add_edge(1, 2, presence=IntervalSet([(2.0, 4.0)]))
+        tvg = from_networkx(g, horizon=10.0)
+        assert tvg.rho(0, 1, 8.5)
+        assert tvg.rho(1, 2, 3.0)
+        assert not tvg.rho(0, 1, 6.0)
+
+    def test_missing_attribute(self):
+        g = nx.Graph([(0, 1)])
+        with pytest.raises(GraphModelError):
+            from_networkx(g, horizon=10.0)

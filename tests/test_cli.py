@@ -1,0 +1,89 @@
+"""Command-line interface: every subcommand end to end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces import deterministic_trace, write_crawdad
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    p = tmp_path / "trace.dat"
+    write_crawdad(deterministic_trace(), p)
+    return str(p)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("generate", "stats", "schedule", "simulate", "experiment"):
+            args = {
+                "generate": [cmd, "x.dat"],
+                "stats": [cmd, "x.dat"],
+                "schedule": [cmd, "x.dat"],
+                "simulate": [cmd, "x.dat"],
+                "experiment": [cmd, "fig4"],
+            }[cmd]
+            assert parser.parse_args(args).command == cmd
+
+
+class TestCommands:
+    def test_generate_and_stats(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        assert main(["generate", str(out), "--nodes", "6", "--horizon", "2000",
+                     "--seed", "3"]) == 0
+        assert out.exists()
+        assert main(["stats", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "num_nodes" in captured and "6" in captured
+
+    def test_schedule(self, trace_file, capsys):
+        rc = main(["schedule", trace_file, "--delay", "100", "--source", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "feasible: True" in out
+        assert "normalized energy" in out
+
+    def test_schedule_auto_source(self, trace_file, capsys):
+        assert main(["schedule", trace_file, "--delay", "100"]) == 0
+
+    def test_schedule_infeasible_errors(self, trace_file, capsys):
+        rc = main(["schedule", trace_file, "--delay", "5"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_simulate(self, trace_file, capsys):
+        rc = main([
+            "simulate", trace_file, "--algorithm", "fr-eedcb",
+            "--delay", "100", "--source", "0", "--trials", "50",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delivery" in out
+
+    def test_simulate_static(self, trace_file, capsys):
+        rc = main([
+            "simulate", trace_file, "--algorithm", "greed",
+            "--delay", "100", "--source", "0", "--trials", "10",
+        ])
+        assert rc == 0
+
+    def test_missing_trace_errors(self, capsys):
+        rc = main(["stats", "/nonexistent/trace.dat"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_fig5_tiny(self, capsys):
+        rc = main([
+            "experiment", "fig5", "--repetitions", "1", "--trials", "10",
+            "--nodes", "8", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "EEDCB" in out and "FR-EEDCB" in out

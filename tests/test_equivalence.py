@@ -1,0 +1,90 @@
+"""Theorem 5.2 equivalence experiments: DTS schedules lose nothing.
+
+The theorem says continuous-time TMEDB and TMEDB-on-DTS have the same
+feasibility (and hence, with costs from the DCS, the same optimum).  We
+verify constructively on small random instances:
+
+* the oracle (exact, searches only DTS times / DCS costs) is never beaten by
+  schedules drawn on a *fine uniform grid* of off-DTS times — i.e.
+  restricting to the DTS costs nothing;
+* every feasible continuous-time schedule normalizes onto the DTS via the
+  ET-law with unchanged cost and preserved feasibility (Prop. 5.1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_scheduler
+from repro.dts import apply_et_law, build_dts
+from repro.errors import InfeasibleError
+from repro.schedule import Schedule, Transmission, check_feasibility
+from repro.tveg.costsets import discrete_cost_set
+
+from .conftest import make_random_instance
+
+
+def _grid_schedules(tveg, source, deadline, rng, num_samples=60):
+    """Random feasible schedules whose times live OFF the DTS grid.
+
+    Draws uniform times within contacts and covers greedily; returns the
+    cheapest feasible one found (None if none was feasible).
+    """
+    best = None
+    nodes = list(tveg.nodes)
+    for _ in range(num_samples):
+        informed = {source}
+        rows = []
+        # random event-driven flood at jittered (non-DTS) times
+        for _ in range(4 * len(nodes)):
+            if len(informed) == len(nodes):
+                break
+            t = float(rng.uniform(0.0, deadline))
+            relays = [r for r in informed]
+            rng.shuffle(relays)
+            for r in relays:
+                dcs = discrete_cost_set(tveg, r, t)
+                new = [v for v in dcs.neighbors if v not in informed]
+                if not new:
+                    continue
+                w = dcs.cost_to_cover(new)
+                rows.append(Transmission(r, t, w))
+                informed.update(dcs.coverage(w))
+                break
+        if len(informed) != len(nodes):
+            continue
+        sched = Schedule(rows)
+        if check_feasibility(tveg, sched, source, deadline).feasible:
+            if best is None or sched.total_cost < best.total_cost:
+                best = sched
+    return best
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_oracle_on_dts_beats_off_grid_schedules(seed):
+    _, tveg = make_random_instance(num_nodes=5, horizon=150.0, seed=seed)
+    try:
+        opt = make_scheduler("oracle").run(tveg, 0, 150.0)
+    except InfeasibleError:
+        pytest.skip("instance infeasible")
+    rng = np.random.default_rng(seed)
+    off_grid = _grid_schedules(tveg, 0, 150.0, rng)
+    if off_grid is None:
+        pytest.skip("no feasible off-grid schedule sampled")
+    # Thm 5.2: the DTS-restricted optimum is a global optimum.
+    assert opt.schedule.total_cost <= off_grid.total_cost + 1e-18
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_et_law_normalizes_onto_dts_with_same_cost(seed):
+    _, tveg = make_random_instance(num_nodes=5, horizon=150.0, seed=seed)
+    rng = np.random.default_rng(100 + seed)
+    sched = _grid_schedules(tveg, 0, 150.0, rng, num_samples=40)
+    if sched is None:
+        pytest.skip("no feasible off-grid schedule sampled")
+    normalized = apply_et_law(tveg, sched, 0)
+    # Prop. 5.1: feasibility preserved, cost untouched, times on the DTS.
+    assert check_feasibility(tveg, normalized, 0, 150.0).feasible
+    assert normalized.total_cost == pytest.approx(sched.total_cost)
+    dts = build_dts(tveg.tvg, 150.0)
+    for s in normalized:
+        assert dts.contains(s.relay, s.time), (s, dts.points(s.relay))

@@ -1,0 +1,109 @@
+"""The ET-law (Proposition 5.1) and Theorem 5.2's constructive half."""
+
+import pytest
+
+from repro.core.partitions import Partition
+from repro.dts import (
+    apply_et_law,
+    build_dts,
+    earliest_transmission_time,
+    follows_et_law,
+)
+from repro.schedule import Schedule, Transmission, check_feasibility
+
+
+def _w(tveg, u, v, t):
+    return tveg.min_cost(u, v, t)
+
+
+class TestEarliestTransmissionTime:
+    def test_informed_inside_interval(self):
+        p = Partition([0.0, 10.0, 20.0, 30.0])
+        # informed at 12, transmitting at 18 → move to 12 (same interval)
+        assert earliest_transmission_time(p, 18.0, 12.0) == 12.0
+
+    def test_informed_before_interval(self):
+        p = Partition([0.0, 10.0, 20.0, 30.0])
+        # informed at 3, transmitting at 18 → move to interval start 10
+        assert earliest_transmission_time(p, 18.0, 3.0) == 10.0
+
+    def test_already_earliest(self):
+        p = Partition([0.0, 10.0, 20.0])
+        assert earliest_transmission_time(p, 10.0, 5.0) == 10.0
+
+
+class TestApplyETLaw:
+    def test_moves_late_transmissions_earlier(self, det_static):
+        # 0 covers {1,3} late in the [10,25) contact; ET-law pulls it to 10
+        # (0 is the source, informed from t=0, so t' < interval start).
+        late = Schedule(
+            [
+                Transmission(
+                    0, 20.0, max(_w(det_static, 0, 1, 20.0), _w(det_static, 0, 3, 20.0))
+                ),
+                Transmission(1, 45.0, _w(det_static, 1, 2, 45.0)),
+            ]
+        )
+        assert check_feasibility(det_static, late, 0, 100.0).feasible
+        normalized = apply_et_law(det_static, late, 0)
+        assert normalized.times[0] == 10.0
+        # relay 1 informed at 10 (inside its adjacent interval) → moves to
+        # the start of the interval containing 45 or to its informed time.
+        assert normalized.times[1] <= 45.0
+        assert check_feasibility(det_static, normalized, 0, 100.0).feasible
+
+    def test_preserves_feasibility(self, det_static):
+        sched = Schedule(
+            [
+                Transmission(
+                    0, 22.0, max(_w(det_static, 0, 1, 22.0), _w(det_static, 0, 3, 22.0))
+                ),
+                Transmission(1, 48.0, _w(det_static, 1, 2, 48.0)),
+            ]
+        )
+        before = check_feasibility(det_static, sched, 0, 100.0)
+        after = check_feasibility(det_static, apply_et_law(det_static, sched, 0), 0, 100.0)
+        assert before.feasible and after.feasible
+
+    def test_et_times_never_later(self, det_static):
+        sched = Schedule(
+            [
+                Transmission(
+                    0, 22.0, max(_w(det_static, 0, 1, 22.0), _w(det_static, 0, 3, 22.0))
+                ),
+                Transmission(1, 48.0, _w(det_static, 1, 2, 48.0)),
+            ]
+        )
+        out = apply_et_law(det_static, sched, 0)
+        for a, b in zip(out, sched):
+            assert a.time <= b.time
+
+    def test_fixpoint(self, det_static):
+        sched = Schedule(
+            [
+                Transmission(
+                    0, 22.0, max(_w(det_static, 0, 1, 22.0), _w(det_static, 0, 3, 22.0))
+                ),
+                Transmission(1, 48.0, _w(det_static, 1, 2, 48.0)),
+            ]
+        )
+        once = apply_et_law(det_static, sched, 0)
+        twice = apply_et_law(det_static, once, 0)
+        assert once == twice
+        assert follows_et_law(det_static, once, 0)
+        assert not follows_et_law(det_static, sched, 0)
+
+    def test_et_times_lie_on_dts(self, det_static):
+        # Theorem 5.2's constructive half: ET transmissions land on DTS points.
+        sched = Schedule(
+            [
+                Transmission(
+                    0, 22.0, max(_w(det_static, 0, 1, 22.0), _w(det_static, 0, 3, 22.0))
+                ),
+                Transmission(1, 48.0, _w(det_static, 1, 2, 48.0)),
+            ]
+        )
+        out = apply_et_law(det_static, sched, 0)
+        dts = build_dts(det_static.tvg)
+        for s in out:
+            assert dts.contains(s.relay, s.time)

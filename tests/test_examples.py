@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts must import and their fast paths run.
+
+Only the quickstart runs end-to-end here (the other examples take tens of
+seconds of Monte-Carlo time and are exercised manually / by the benchmark
+suite's equivalent code paths); for the rest we verify the module loads and
+exposes a ``main``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "fading_broadcast_comparison",
+        "mobile_sensor_network",
+        "uncertain_contacts",
+    ],
+)
+def test_example_importable_with_main(name):
+    mod = _load(name)
+    assert callable(mod.main)
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    mod = _load("quickstart")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "feasible: True" in out
+    assert "broadcast from" in out  # the ASCII timeline rendered

@@ -1,0 +1,126 @@
+"""Experiment harness: instance sampling, evaluation, figure smoke runs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    SweepResult,
+    default_trace,
+    evaluate_algorithm,
+    format_table,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    sample_instance,
+)
+from repro.experiments.harness import sample_paired_starts
+
+TINY = ExperimentConfig(repetitions=1, trials=20, num_nodes=10, horizon=8000.0)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return default_trace(10, TINY, trace_seed=11)
+
+
+@pytest.fixture(scope="module")
+def instance(trace):
+    rng = np.random.default_rng(0)
+    inst = sample_instance(trace, TINY, rng)
+    assert inst is not None
+    return inst
+
+
+class TestSampling:
+    def test_instance_shapes(self, instance):
+        assert instance.static.num_nodes == 10
+        assert not instance.static.is_fading
+        assert instance.fading.is_fading
+        assert instance.deadline == TINY.delay
+        assert instance.source in instance.static.nodes
+
+    def test_shared_geometry(self, instance):
+        # static and fading share distances — the paired-comparison invariant
+        for u, v, s, e in list(instance.static.tvg.contacts())[:5]:
+            t = (s + e) / 2
+            assert instance.static.distance(u, v, t) == instance.fading.distance(
+                u, v, t
+            )
+
+    def test_fixed_window(self, trace):
+        rng = np.random.default_rng(1)
+        inst = sample_instance(trace, TINY, rng, window_start=3000.0)
+        if inst is not None:
+            assert inst.window_start == 3000.0
+
+    def test_paired_starts_fit_max_delay(self, trace):
+        rng = np.random.default_rng(2)
+        starts = sample_paired_starts(trace, TINY, rng, 1000.0, 4000.0, 3)
+        assert all(t0 + 4000.0 <= trace.horizon for t0 in starts)
+
+
+class TestEvaluate:
+    def test_match_channel(self, instance):
+        out = evaluate_algorithm("eedcb", instance, TINY, sim_seed=1)
+        assert out is not None
+        assert out.normalized_energy > 0
+        assert out.delivery == pytest.approx(1.0)  # static design, static exec
+
+    def test_fading_execution_degrades_static(self, instance):
+        out = evaluate_algorithm(
+            "eedcb", instance, TINY, sim_seed=1, execution_channel="fading"
+        )
+        assert out is not None
+        assert out.delivery < 1.0
+
+    def test_fr_delivers_under_fading(self, instance):
+        out = evaluate_algorithm(
+            "fr-eedcb", instance, TINY, sim_seed=1, execution_channel="fading"
+        )
+        assert out is not None
+        assert out.delivery > 0.9
+
+    def test_unknown_execution_channel(self, instance):
+        with pytest.raises(ValueError):
+            evaluate_algorithm("eedcb", instance, TINY, 1, execution_channel="x")
+
+
+class TestReporting:
+    def test_sweep_result(self):
+        r = SweepResult(title="t", x_label="x")
+        r.add_point(1.0, {"a": 2.0, "b": math.nan})
+        r.add_point(2.0, {"a": 3.0, "b": 4.0})
+        assert r.series_names() == ["a", "b"]
+        assert r.column("a") == [2.0, 3.0]
+        table = format_table(r)
+        assert "n/a" in table and "x" in table
+
+
+class TestFigures:
+    def test_fig4_shape(self):
+        r = run_fig4("static", TINY, delays=(2000.0, 4000.0), node_counts=(8,))
+        assert r.x_values == [2000.0, 4000.0]
+        assert "N=8" in r.series
+
+    def test_fig5_shape(self):
+        r = run_fig5("static", TINY, delays=(2000.0,))
+        assert set(r.series) == {"EEDCB", "GREED", "RAND"}
+
+    def test_fig6_shape(self):
+        e, d = run_fig6(TINY, node_counts=(8,))
+        assert e.x_values == [8] and d.x_values == [8]
+        for panel in (e, d):
+            assert len(panel.series) == 6
+        # delivery values are ratios
+        for name, col in d.series.items():
+            for v in col:
+                assert math.isnan(v) or 0.0 <= v <= 1.0
+
+    def test_fig7_shape(self):
+        r = run_fig7("static", TINY, window_starts=(4000.0,))
+        assert "avg degree" in r.series
+        assert "EEDCB" in r.series

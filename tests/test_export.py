@@ -1,0 +1,76 @@
+"""Sweep CSV round-trips and terminal sparkline charts."""
+
+import io
+import math
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.experiments.export import (
+    ascii_chart,
+    read_sweep_csv,
+    sparkline,
+    write_sweep_csv,
+)
+from repro.experiments.reporting import SweepResult
+
+
+@pytest.fixture
+def sweep():
+    r = SweepResult(title="Fig. X — demo", x_label="delay (s)")
+    r.add_point(2000.0, {"EEDCB": 90.0, "GREED": 450.0})
+    r.add_point(4000.0, {"EEDCB": 75.5, "GREED": 430.0})
+    r.add_point(6000.0, {"EEDCB": 60.25, "GREED": float("nan")})
+    return r
+
+
+class TestCSVRoundTrip:
+    def test_round_trip(self, sweep):
+        buf = io.StringIO()
+        write_sweep_csv(sweep, buf)
+        back = read_sweep_csv(io.StringIO(buf.getvalue()))
+        assert back.title == sweep.title
+        assert back.x_label == sweep.x_label
+        assert back.x_values == sweep.x_values
+        assert back.series["EEDCB"] == sweep.series["EEDCB"]
+        assert math.isnan(back.series["GREED"][2])
+
+    def test_file_round_trip(self, sweep, tmp_path):
+        p = tmp_path / "sweep.csv"
+        write_sweep_csv(sweep, p)
+        back = read_sweep_csv(p)
+        assert back.series_names() == sweep.series_names()
+
+    def test_malformed(self):
+        with pytest.raises(TraceFormatError):
+            read_sweep_csv(io.StringIO("# only title\n"))
+        bad = "# t\nx,a\n1.0\n"
+        with pytest.raises(TraceFormatError):
+            read_sweep_csv(io.StringIO(bad))
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+        assert list(line) == sorted(line)
+
+    def test_flat_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_nan_becomes_space(self):
+        line = sparkline([1.0, float("nan"), 3.0])
+        assert line[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+
+class TestAsciiChart:
+    def test_contains_all_series(self, sweep):
+        chart = ascii_chart(sweep)
+        assert "EEDCB" in chart and "GREED" in chart
+        assert sweep.title.split("—")[0].strip() in chart
+        # ranges rendered
+        assert "[60.2, 90]" in chart or "[60.3, 90]" in chart

@@ -1,0 +1,111 @@
+"""Collision-model interference (the Section VIII future-work extension)."""
+
+import pytest
+
+from repro.schedule import Schedule, Transmission
+from repro.sim import run_trials, simulate_schedule
+from repro.temporal.tvg import TVG
+from repro.traces import Contact, ContactTrace
+from repro.tveg import tveg_from_trace
+
+
+@pytest.fixture
+def star_tveg():
+    """Nodes 1 and 2 both adjacent to 3 (and to source 0) at t ∈ [0, 10)."""
+    contacts = [
+        Contact(0.0, 10.0, 0, 1),
+        Contact(0.0, 10.0, 0, 2),
+        Contact(0.0, 10.0, 1, 3),
+        Contact(0.0, 10.0, 2, 3),
+    ]
+    trace = ContactTrace(contacts, nodes=(0, 1, 2, 3), horizon=10.0)
+    return tveg_from_trace(trace, "static", seed=0)
+
+
+def _w(tveg, u, v, t):
+    return tveg.min_cost(u, v, t)
+
+
+class TestCollisionModel:
+    def test_unknown_model_rejected(self, star_tveg):
+        with pytest.raises(ValueError):
+            simulate_schedule(
+                star_tveg, Schedule.empty(), 0, seed=0, interference="magic"
+            )
+
+    def test_simultaneous_senders_collide_at_common_receiver(self, star_tveg):
+        # 0 informs 1 and 2 at t=0 (round 1); then 1 and 2 both transmit to
+        # 3 in the same causal round at t=5 → collision at 3.
+        w0 = max(_w(star_tveg, 0, 1, 0.0), _w(star_tveg, 0, 2, 0.0))
+        sched = Schedule(
+            [
+                Transmission(0, 0.0, w0),
+                Transmission(1, 5.0, _w(star_tveg, 1, 3, 5.0)),
+                Transmission(2, 5.0, _w(star_tveg, 2, 3, 5.0)),
+            ]
+        )
+        out_none = simulate_schedule(star_tveg, sched, 0, seed=1)
+        out_coll = simulate_schedule(
+            star_tveg, sched, 0, seed=1, interference="collision"
+        )
+        assert 3 in out_none.received
+        assert 3 not in out_coll.received  # both senders adjacent → collide
+
+    def test_single_sender_unaffected(self, star_tveg):
+        w0 = max(_w(star_tveg, 0, 1, 0.0), _w(star_tveg, 0, 2, 0.0))
+        sched = Schedule(
+            [
+                Transmission(0, 0.0, w0),
+                Transmission(1, 5.0, _w(star_tveg, 1, 3, 5.0)),
+            ]
+        )
+        out = simulate_schedule(
+            star_tveg, sched, 0, seed=1, interference="collision"
+        )
+        assert out.received == frozenset({0, 1, 2, 3})
+
+    def test_staggered_times_avoid_collision(self, star_tveg):
+        w0 = max(_w(star_tveg, 0, 1, 0.0), _w(star_tveg, 0, 2, 0.0))
+        sched = Schedule(
+            [
+                Transmission(0, 0.0, w0),
+                Transmission(1, 5.0, _w(star_tveg, 1, 3, 5.0)),
+                Transmission(2, 6.0, _w(star_tveg, 2, 3, 6.0)),
+            ]
+        )
+        out = simulate_schedule(
+            star_tveg, sched, 0, seed=1, interference="collision"
+        )
+        assert 3 in out.received
+
+    def test_collision_never_improves_delivery(self, star_tveg):
+        w0 = max(_w(star_tveg, 0, 1, 0.0), _w(star_tveg, 0, 2, 0.0))
+        sched = Schedule(
+            [
+                Transmission(0, 0.0, w0),
+                Transmission(1, 5.0, _w(star_tveg, 1, 3, 5.0)),
+                Transmission(2, 5.0, _w(star_tveg, 2, 3, 5.0)),
+            ]
+        )
+        a = run_trials(star_tveg, sched, 0, 50, seed=3)
+        b = run_trials(star_tveg, sched, 0, 50, seed=3, interference="collision")
+        assert b.mean_delivery <= a.mean_delivery
+
+    def test_same_round_chain_still_fires_across_rounds(self, star_tveg):
+        # causal rounds: 0 fires alone (round 1); 1 and 2 get the packet at
+        # the SAME timestamp and relay at that timestamp too — they are in a
+        # later round, simultaneous with each other only.
+        w0 = max(_w(star_tveg, 0, 1, 0.0), _w(star_tveg, 0, 2, 0.0))
+        sched = Schedule(
+            [
+                Transmission(0, 0.0, w0),
+                Transmission(1, 0.0, _w(star_tveg, 1, 3, 0.0)),
+                Transmission(2, 0.0, _w(star_tveg, 2, 3, 0.0)),
+            ]
+        )
+        out = simulate_schedule(
+            star_tveg, sched, 0, seed=1, interference="collision"
+        )
+        # 1 and 2 fire simultaneously in round 2 → they collide at 3
+        assert 3 not in out.received
+        assert out.transmissions == 3

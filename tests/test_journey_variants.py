@@ -1,0 +1,99 @@
+"""Shortest and fastest journeys (completing [8]'s foremost trio)."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphModelError
+from repro.temporal import fastest_journey, foremost_journey, shortest_journey
+from repro.temporal.tvg import TVG
+
+
+@pytest.fixture
+def trio_tvg():
+    """Foremost, shortest and fastest journeys all differ from 0 to 3.
+
+    * 2-hop chain via 1: (0,1) at [0,5), (1,3) at [10,15) — arrives 10,
+      2 hops, duration 10 (departs 0).
+    * direct contact (0,3) at [20,25) — 1 hop, arrives 20, duration 0.
+    * so: foremost = via 1 (arrival 10); shortest = direct (1 hop);
+      fastest = direct (duration 0 vs 10).
+    """
+    g = TVG([0, 1, 3], 40.0)
+    g.add_contact(0, 1, 0.0, 5.0)
+    g.add_contact(1, 3, 10.0, 15.0)
+    g.add_contact(0, 3, 20.0, 25.0)
+    return g
+
+
+class TestShortestJourney:
+    def test_minimizes_hops(self, trio_tvg):
+        j = shortest_journey(trio_tvg, 0, 3)
+        assert j is not None
+        assert j.topological_length == 1
+        assert j.departure == 20.0
+        assert j.is_valid(trio_tvg)
+
+    def test_foremost_differs(self, trio_tvg):
+        f = foremost_journey(trio_tvg, 0, 3)
+        assert f.topological_length == 2
+        assert f.arrival(trio_tvg.tau) == 10.0
+
+    def test_deadline_forces_more_hops(self, trio_tvg):
+        # by t = 15 only the 2-hop chain exists
+        j = shortest_journey(trio_tvg, 0, 3, deadline=15.0)
+        assert j.topological_length == 2
+        assert j.is_valid(trio_tvg)
+
+    def test_unreachable(self, trio_tvg):
+        assert shortest_journey(trio_tvg, 0, 3, deadline=5.0) is None
+
+    def test_validation(self, trio_tvg):
+        with pytest.raises(GraphModelError):
+            shortest_journey(trio_tvg, 0, 0)
+        with pytest.raises(GraphModelError):
+            shortest_journey(trio_tvg, 0, 99)
+
+    def test_among_min_hops_earliest_arrival(self):
+        # two 1-hop options at different times → the earlier one wins
+        g = TVG([0, 1], 40.0)
+        g.add_contact(0, 1, 5.0, 6.0)
+        g.add_contact(0, 1, 20.0, 21.0)
+        j = shortest_journey(g, 0, 1)
+        assert j.departure == 5.0
+
+
+class TestFastestJourney:
+    def test_minimizes_duration(self, trio_tvg):
+        j = fastest_journey(trio_tvg, 0, 3)
+        assert j is not None
+        assert j.topological_length == 1
+        assert j.departure == 20.0
+        duration = j.arrival(trio_tvg.tau) - j.departure
+        assert duration == 0.0  # τ = 0 single hop
+
+    def test_respects_start_time(self, trio_tvg):
+        # departing only after 26 the direct contact is gone → unreachable
+        assert fastest_journey(trio_tvg, 0, 3, start_time=26.0) is None
+
+    def test_waiting_inside_journey_counts(self):
+        # departing later skips the mid-journey wait
+        g = TVG([0, 1, 2], 60.0, tau=1.0)
+        g.add_contact(0, 1, 0.0, 30.0)
+        g.add_contact(1, 2, 20.0, 30.0)
+        j = fastest_journey(g, 0, 2)
+        assert j is not None
+        # best: depart ~19/20 so the relay hop chains without waiting
+        duration = j.arrival(g.tau) - j.departure
+        assert duration == pytest.approx(2.0)  # two hops of τ = 1, no wait
+
+    def test_validation(self, trio_tvg):
+        with pytest.raises(GraphModelError):
+            fastest_journey(trio_tvg, 0, 0)
+
+    def test_matches_foremost_when_single_option(self):
+        g = TVG([0, 1], 10.0)
+        g.add_contact(0, 1, 3.0, 4.0)
+        f = fastest_journey(g, 0, 1)
+        m = foremost_journey(g, 0, 1)
+        assert f.departure == m.departure == 3.0

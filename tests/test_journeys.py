@@ -1,0 +1,132 @@
+"""Journeys (Definition 3.1): validation, foremost search, arrivals."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphModelError
+from repro.temporal.journeys import Hop, Journey, earliest_arrivals, foremost_journey
+from repro.temporal.tvg import TVG
+
+
+@pytest.fixture
+def chain_tvg():
+    """0—1 on [0,10), 1—2 on [20,30), 2—3 on [25,40); τ = 1."""
+    g = TVG([0, 1, 2, 3], 50.0, tau=1.0)
+    g.add_contact(0, 1, 0.0, 10.0)
+    g.add_contact(1, 2, 20.0, 30.0)
+    g.add_contact(2, 3, 25.0, 40.0)
+    return g
+
+
+class TestJourney:
+    def test_empty_rejected(self):
+        with pytest.raises(GraphModelError):
+            Journey([])
+
+    def test_valid_journey(self, chain_tvg):
+        j = Journey([Hop(0, 1, 0.0), Hop(1, 2, 20.0), Hop(2, 3, 25.0)])
+        assert j.is_valid(chain_tvg)
+        assert j.topological_length == 3
+        assert j.departure == 0.0
+        assert j.arrival(1.0) == 26.0
+        assert j.source == 0 and j.destination == 3
+        assert j.nodes() == (0, 1, 2, 3)
+
+    def test_spatial_chaining_violation(self, chain_tvg):
+        j = Journey([Hop(0, 1, 0.0), Hop(2, 3, 25.0)])
+        assert not j.is_valid(chain_tvg)
+
+    def test_causality_violation(self, chain_tvg):
+        # second hop departs before the first completes
+        g = TVG([0, 1, 2], 50.0, tau=5.0)
+        g.add_contact(0, 1, 0.0, 20.0)
+        g.add_contact(1, 2, 0.0, 20.0)
+        j = Journey([Hop(0, 1, 0.0), Hop(1, 2, 2.0)])
+        assert not j.is_valid(g)
+        j2 = Journey([Hop(0, 1, 0.0), Hop(1, 2, 5.0)])
+        assert j2.is_valid(g)
+
+    def test_presence_violation(self, chain_tvg):
+        j = Journey([Hop(0, 1, 15.0)])  # edge absent at 15
+        assert not j.is_valid(chain_tvg)
+
+    def test_presence_tau_window_violation(self, chain_tvg):
+        # τ = 1; contact (0,1) ends at 10, so departing at 9.5 fails
+        j = Journey([Hop(0, 1, 9.5)])
+        assert not j.is_valid(chain_tvg)
+
+    def test_non_stop(self):
+        j = Journey([Hop(0, 1, 0.0), Hop(1, 2, 1.0)])
+        assert j.is_non_stop(tau=1.0)
+        assert not j.is_non_stop(tau=0.5)
+
+    def test_circle_free(self):
+        assert Journey([Hop(0, 1, 0.0), Hop(1, 2, 1.0)]).is_circle_free()
+        assert not Journey([Hop(0, 1, 0.0), Hop(1, 0, 1.0)]).is_circle_free()
+
+    def test_precedence(self):
+        j = Journey([Hop(0, 1, 0.0), Hop(1, 2, 1.0)])
+        assert j.precedes(0, 2)
+        assert j.precedes(0, 1)
+        assert not j.precedes(2, 0)
+        assert not j.precedes(0, 99)
+
+
+class TestEarliestArrivals:
+    def test_chain(self, chain_tvg):
+        arr = earliest_arrivals(chain_tvg, 0)
+        assert arr[0] == 0.0
+        assert arr[1] == 1.0   # depart 0, arrive τ later
+        assert arr[2] == 21.0  # wait for contact at 20
+        assert arr[3] == 26.0  # depart as soon as informed (25 < 21? no: 25)
+
+    def test_start_time_shifts(self, chain_tvg):
+        arr = earliest_arrivals(chain_tvg, 0, start_time=5.0)
+        assert arr[1] == 6.0
+
+    def test_unreachable_is_inf(self):
+        g = TVG([0, 1, 2], 10.0)
+        g.add_contact(0, 1, 0.0, 5.0)
+        arr = earliest_arrivals(g, 0)
+        assert arr[2] == math.inf
+
+    def test_missed_contact_unreachable(self):
+        # contact ends before the source can use it
+        g = TVG([0, 1, 2], 50.0)
+        g.add_contact(1, 2, 0.0, 5.0)
+        g.add_contact(0, 1, 10.0, 20.0)
+        arr = earliest_arrivals(g, 0)
+        assert arr[1] == 10.0
+        assert arr[2] == math.inf  # (1,2) contact is long gone
+
+    def test_unknown_source(self, chain_tvg):
+        with pytest.raises(GraphModelError):
+            earliest_arrivals(chain_tvg, 99)
+
+
+class TestForemostJourney:
+    def test_reconstruction_matches_arrivals(self, chain_tvg):
+        j = foremost_journey(chain_tvg, 0, 3)
+        assert j is not None
+        assert j.is_valid(chain_tvg)
+        assert j.arrival(chain_tvg.tau) == earliest_arrivals(chain_tvg, 0)[3]
+
+    def test_none_when_unreachable(self):
+        g = TVG([0, 1, 2], 10.0)
+        g.add_contact(0, 1, 0.0, 5.0)
+        assert foremost_journey(g, 0, 2) is None
+
+    def test_direct_beats_relay(self, det_tvg):
+        # deterministic trace: 0—3 contact at [10,25) beats going via 1,2
+        j = foremost_journey(det_tvg, 0, 3)
+        assert j.topological_length == 1
+        assert j.departure == 10.0
+
+    def test_same_node_rejected(self, chain_tvg):
+        with pytest.raises(GraphModelError):
+            foremost_journey(chain_tvg, 0, 0)
+
+    def test_unknown_destination(self, chain_tvg):
+        with pytest.raises(GraphModelError):
+            foremost_journey(chain_tvg, 0, 99)

@@ -1,0 +1,105 @@
+"""Non-deterministic TVGs (the paper's future work, Section VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphModelError, TraceFormatError
+from repro.temporal.nondeterministic import (
+    CandidateContact,
+    ProbabilisticTVG,
+    schedule_robustness,
+)
+from repro.traces import deterministic_trace
+
+
+class TestCandidateContact:
+    def test_validation(self):
+        with pytest.raises(TraceFormatError):
+            CandidateContact(0, 1, 5.0, 5.0, 0.5)
+        with pytest.raises(TraceFormatError):
+            CandidateContact(0, 1, 0.0, 5.0, 0.0)
+        with pytest.raises(TraceFormatError):
+            CandidateContact(0, 1, 0.0, 5.0, 1.5)
+        with pytest.raises(TraceFormatError):
+            CandidateContact(1, 1, 0.0, 5.0, 0.5)
+
+
+class TestProbabilisticTVG:
+    @pytest.fixture
+    def ptvg(self):
+        p = ProbabilisticTVG([0, 1, 2], horizon=100.0)
+        p.add_candidate(0, 1, 0.0, 30.0, prob=0.8)
+        p.add_candidate(0, 1, 50.0, 70.0, prob=0.4)
+        p.add_candidate(1, 2, 20.0, 60.0, prob=1.0)
+        return p
+
+    def test_rho_probabilistic(self, ptvg):
+        assert ptvg.rho(0, 1, 10.0) == 0.8
+        assert ptvg.rho(0, 1, 55.0) == 0.4
+        assert ptvg.rho(0, 1, 40.0) == 0.0
+        assert ptvg.rho(1, 2, 30.0) == 1.0
+        assert ptvg.rho(0, 2, 30.0) == 0.0
+
+    def test_expected_degree(self, ptvg):
+        assert ptvg.expected_degree(1, 25.0) == pytest.approx(1.8)
+        assert ptvg.expected_degree(0, 25.0) == pytest.approx(0.8)
+
+    def test_overlapping_candidates_rejected(self, ptvg):
+        with pytest.raises(GraphModelError):
+            ptvg.add_candidate(0, 1, 25.0, 55.0, prob=0.5)
+
+    def test_unknown_node_rejected(self, ptvg):
+        with pytest.raises(GraphModelError):
+            ptvg.add_candidate(0, 9, 0.0, 5.0)
+
+    def test_sure_candidates_always_kept(self, ptvg):
+        for seed in range(5):
+            tvg = ptvg.sample(seed)
+            assert tvg.rho(1, 2, 30.0)
+
+    def test_sampling_frequency_matches_prob(self, ptvg):
+        rng = np.random.default_rng(0)
+        hits = sum(
+            ptvg.sample(rng).rho(0, 1, 10.0) for _ in range(400)
+        )
+        # binomial(400, 0.8): 5σ ≈ 0.1
+        assert abs(hits / 400 - 0.8) < 0.1
+
+    def test_from_trace(self):
+        ptvg = ProbabilisticTVG.from_trace(deterministic_trace(), availability=0.5)
+        assert ptvg.num_candidates() == 5
+        assert ptvg.rho(0, 1, 5.0) == 0.5
+
+    def test_sample_trace_horizon_and_nodes(self, ptvg):
+        trace = ptvg.sample_trace(seed=1)
+        assert trace.horizon == 100.0
+        assert set(trace.nodes) >= {0, 1, 2}
+
+
+class TestScheduleRobustness:
+    def test_certain_contacts_always_feasible(self):
+        ptvg = ProbabilisticTVG.from_trace(deterministic_trace(), availability=1.0)
+        report = schedule_robustness(ptvg, 0, 100.0, realizations=5, seed=0)
+        assert report.feasibility_rate == 1.0
+        assert report.mean_cost > 0
+        assert report.p90_cost >= report.mean_cost * 0.5
+
+    def test_rate_decreases_with_availability(self):
+        base = deterministic_trace()
+        rates = []
+        for availability in (1.0, 0.6, 0.2):
+            ptvg = ProbabilisticTVG.from_trace(base, availability=availability)
+            report = schedule_robustness(ptvg, 0, 100.0, realizations=40, seed=1)
+            rates.append(report.feasibility_rate)
+        assert rates[0] >= rates[1] >= rates[2]
+        assert rates[2] < rates[0]
+
+    def test_empty_report(self):
+        ptvg = ProbabilisticTVG([0, 1], horizon=10.0)
+        ptvg.add_candidate(0, 1, 0.0, 5.0, prob=0.01)
+        report = schedule_robustness(ptvg, 0, 10.0, realizations=3, seed=2)
+        assert report.feasibility_rate <= 1.0
+        if not report.costs:
+            import math
+
+            assert math.isnan(report.mean_cost)

@@ -1,0 +1,152 @@
+"""Online forwarding protocols and their event engine."""
+
+import math
+
+import pytest
+
+from repro.errors import SolverError
+from repro.online import (
+    DirectDelivery,
+    Epidemic,
+    Gossip,
+    SprayAndWait,
+    make_protocol,
+    run_online,
+    run_online_trials,
+)
+from repro.traces import deterministic_trace, uniform_trace
+from repro.tveg import tveg_from_trace
+
+
+@pytest.fixture
+def static(det_trace):
+    return tveg_from_trace(det_trace, "static", seed=1)
+
+
+class TestProtocolFactory:
+    def test_names(self):
+        for name, cls in (
+            ("epidemic", Epidemic),
+            ("gossip", Gossip),
+            ("spray-and-wait", SprayAndWait),
+            ("direct", DirectDelivery),
+        ):
+            assert isinstance(make_protocol(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(SolverError):
+            make_protocol("teleport")
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            Gossip(0.0)
+        with pytest.raises(SolverError):
+            SprayAndWait(0)
+
+
+class TestEpidemicOnDeterministicTrace:
+    def test_realizes_foremost_journeys(self, static):
+        # static channel → every contact succeeds → epidemic reaches each
+        # node at its earliest-arrival time
+        from repro.temporal import earliest_arrivals
+
+        out = run_online(static, Epidemic(), 0, 100.0, seed=0)
+        assert out.delivery_ratio(4) == 1.0
+        arr = earliest_arrivals(static.tvg, 0)
+        times = dict(out.reception_times)
+        for node, t in arr.items():
+            assert times[node] == pytest.approx(t)
+
+    def test_deadline_truncates(self, static):
+        out = run_online(static, Epidemic(), 0, 15.0, seed=0)
+        # node 2's first contact starts at 20 → unreachable by 15
+        assert 2 not in out.received
+
+    def test_energy_counts_attempts(self, static):
+        out = run_online(static, Epidemic(), 0, 100.0, seed=0)
+        assert out.energy > 0
+        assert out.attempts >= out.successes == 3  # informs 3 nodes
+
+
+class TestDirectDelivery:
+    def test_only_source_forwards(self, static):
+        out = run_online(static, DirectDelivery(), 0, 100.0, seed=0)
+        # source 0 meets 1 and 3 directly; 2 is never met by 0
+        assert out.received == frozenset({0, 1, 3})
+
+
+class TestSprayAndWait:
+    def test_token_budget_slows_spreading(self):
+        import numpy as np
+
+        trace = uniform_trace(10, 800.0, 60.0, 40.0, seed=3)
+        tveg = tveg_from_trace(trace, "static", seed=3)
+        out_small = run_online(tveg, SprayAndWait(tokens=2), 0, 800.0, seed=1)
+        out_epi = run_online(tveg, Epidemic(), 0, 800.0, seed=1)
+        # fewer active spreaders: never more coverage, never earlier overall
+        assert len(out_small.received) <= len(out_epi.received)
+        common = out_small.received & out_epi.received
+        t_small = dict(out_small.reception_times)
+        t_epi = dict(out_epi.reception_times)
+        mean_small = np.mean([t_small[n] for n in common])
+        mean_epi = np.mean([t_epi[n] for n in common])
+        assert mean_small >= mean_epi - 1e-9
+
+    def test_single_token_is_directish(self, static):
+        out = run_online(static, SprayAndWait(tokens=1), 0, 100.0, seed=0)
+        # the source spreads (1 token kept) but recipients never do
+        assert 2 not in out.received
+
+
+class TestGossip:
+    def test_p1_equals_epidemic(self, static):
+        a = run_online(static, Gossip(1.0), 0, 100.0, seed=5)
+        b = run_online(static, Epidemic(), 0, 100.0, seed=5)
+        assert a.received == b.received
+
+    def test_seeded_reproducible(self, static):
+        a = run_online(static, Gossip(0.5), 0, 100.0, seed=9)
+        b = run_online(static, Gossip(0.5), 0, 100.0, seed=9)
+        assert a.received == b.received and a.energy == b.energy
+
+
+class TestFadingRetries:
+    def test_retries_raise_delivery(self):
+        trace = uniform_trace(8, 600.0, 80.0, 60.0, seed=7)
+        fading = tveg_from_trace(trace, "rayleigh", seed=7)
+        one = run_online_trials(
+            fading, Epidemic(), 0, 600.0, num_trials=40, seed=2,
+            max_attempts_per_contact=1,
+        )
+        many = run_online_trials(
+            fading, Epidemic(), 0, 600.0, num_trials=40, seed=2,
+            max_attempts_per_contact=4, retry_interval=10.0,
+        )
+        assert many.mean_delivery >= one.mean_delivery
+
+    def test_summary_fields(self, static):
+        s = run_online_trials(static, Epidemic(), 0, 100.0, num_trials=5, seed=0)
+        assert s.num_trials == 5
+        assert s.mean_delivery == 1.0
+        assert s.mean_energy > 0
+        assert math.isfinite(s.mean_latency)
+
+
+class TestOfflineComparison:
+    def test_eedcb_beats_online_energy(self):
+        """Clairvoyance pays: the offline optimum undercuts epidemic."""
+        from repro.algorithms import make_scheduler
+        from repro.errors import InfeasibleError
+
+        trace = uniform_trace(10, 800.0, 60.0, 40.0, seed=11)
+        tveg = tveg_from_trace(trace, "static", seed=11)
+        try:
+            offline = make_scheduler("eedcb").schedule(tveg, 0, 800.0)
+        except InfeasibleError:
+            pytest.skip("instance infeasible")
+        online = run_online(tveg, Epidemic(), 0, 800.0, seed=1)
+        assert offline.total_cost <= online.energy + 1e-18
+
+    def test_engine_validation(self, static):
+        with pytest.raises(SolverError):
+            run_online(static, Epidemic(), 0, 100.0, retry_interval=0.0)

@@ -1,0 +1,118 @@
+"""Time partitions (Definition 5.1) and the combination operator (Eq. 8)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+from repro.core.partitions import Partition, combine
+from repro.errors import PartitionError
+
+
+class TestPartition:
+    def test_points_sorted_deduplicated(self):
+        p = Partition([3.0, 0.0, 1.0, 1.0, 2.0])
+        assert p.points == (0.0, 1.0, 2.0, 3.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(PartitionError):
+            Partition([1.0])
+        with pytest.raises(PartitionError):
+            Partition([1.0, 1.0])
+
+    def test_trivial(self):
+        p = Partition.trivial(0.0, 10.0)
+        assert p.points == (0.0, 10.0)
+        assert p.num_intervals == 1
+        with pytest.raises(PartitionError):
+            Partition.trivial(5.0, 5.0)
+
+    def test_from_boundaries_filters_outside(self):
+        p = Partition.from_boundaries([-1.0, 2.0, 5.0, 99.0], 0.0, 10.0)
+        assert p.points == (0.0, 2.0, 5.0, 10.0)
+
+    def test_intervals(self):
+        p = Partition([0.0, 1.0, 3.0])
+        assert p.intervals() == (Interval(0, 1), Interval(1, 3))
+
+    def test_interval_of(self):
+        p = Partition([0.0, 1.0, 3.0])
+        assert p.interval_of(0.5) == Interval(0, 1)
+        assert p.interval_of(1.0) == Interval(1, 3)
+        assert p.interval_of(3.0) == Interval(1, 3)  # end point → last interval
+        with pytest.raises(PartitionError):
+            p.interval_of(4.0)
+
+    def test_floor_point(self):
+        p = Partition([0.0, 1.0, 3.0])
+        assert p.floor_point(2.9) == 1.0
+        assert p.floor_point(1.0) == 1.0
+
+    def test_index_of_point(self):
+        p = Partition([0.0, 1.0, 3.0])
+        assert p.index_of_point(1.0) == 1
+        with pytest.raises(PartitionError):
+            p.index_of_point(2.0)
+
+    def test_has_point(self):
+        p = Partition([0.0, 1.0, 3.0])
+        assert p.has_point(1.0)
+        assert p.has_point(1.0 + 1e-13)
+        assert not p.has_point(2.0)
+
+    def test_combine_requires_same_span(self):
+        with pytest.raises(PartitionError):
+            Partition([0.0, 5.0]).combine(Partition([0.0, 6.0]))
+
+    def test_combine_merges_points(self):
+        a = Partition([0.0, 2.0, 10.0])
+        b = Partition([0.0, 5.0, 10.0])
+        assert (a | b).points == (0.0, 2.0, 5.0, 10.0)
+
+    def test_refine_with(self):
+        p = Partition([0.0, 10.0])
+        assert p.refine_with([5.0, 99.0]).points == (0.0, 5.0, 10.0)
+        assert p.refine_with([]) is p
+
+
+# ----------------------------------------------------------------------
+# hypothesis: combination is associative, commutative, idempotent
+# ----------------------------------------------------------------------
+inner_points = st.lists(
+    st.floats(min_value=0.001, max_value=99.999, allow_nan=False), max_size=6
+)
+
+
+@st.composite
+def partitions(draw):
+    pts = draw(inner_points)
+    return Partition([0.0, 100.0, *pts])
+
+
+@given(partitions(), partitions())
+def test_combine_commutative(a, b):
+    assert a | b == b | a
+
+
+@given(partitions(), partitions(), partitions())
+def test_combine_associative(a, b, c):
+    assert (a | b) | c == a | (b | c)
+
+
+@given(partitions())
+def test_combine_idempotent(a):
+    assert a | a == a
+
+
+@given(partitions(), partitions(), partitions())
+def test_combine_many_equals_pairwise(a, b, c):
+    assert combine([a, b, c]) == (a | b) | c
+
+
+@given(partitions(), st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+def test_interval_of_contains_point(p, t):
+    iv = p.interval_of(t)
+    if t < p.end:
+        assert iv.start <= t < iv.end
+    else:
+        assert iv.end == p.end

@@ -1,0 +1,115 @@
+"""The Eq. (6) uninformed-probability engine."""
+
+import math
+
+import pytest
+
+from repro.schedule import (
+    Schedule,
+    Transmission,
+    informed_time,
+    is_informed,
+    uninformed_probabilities,
+    uninformed_probability,
+)
+
+
+def _w(tveg, u, v, t):
+    return tveg.min_cost(u, v, t)
+
+
+class TestStaticProbabilities:
+    def test_source_always_informed(self, det_static):
+        assert uninformed_probability(det_static, Schedule.empty(), 0, 0.0, 0) == 0.0
+        assert uninformed_probability(det_static, Schedule.empty(), 0, 99.0, 0) == 0.0
+
+    def test_source_before_start(self, det_static):
+        p = uninformed_probability(
+            det_static, Schedule.empty(), 0, 1.0, 0, start_time=5.0
+        )
+        assert p == 1.0
+
+    def test_unreached_node_is_one(self, det_static):
+        assert uninformed_probability(det_static, Schedule.empty(), 2, 99.0, 0) == 1.0
+
+    def test_step_transmission_informs(self, det_static):
+        w = _w(det_static, 0, 1, 5.0)
+        sched = Schedule([Transmission(0, 5.0, w)])
+        assert uninformed_probability(det_static, sched, 1, 5.0, 0) == 0.0
+        # before the transmission the node is uninformed
+        assert uninformed_probability(det_static, sched, 1, 4.9, 0) == 1.0
+
+    def test_insufficient_power_fails(self, det_static):
+        w = _w(det_static, 0, 1, 5.0)
+        sched = Schedule([Transmission(0, 5.0, w * 0.9)])
+        assert uninformed_probability(det_static, sched, 1, 99.0, 0) == 1.0
+
+    def test_non_adjacent_transmission_ignored(self, det_static):
+        # node 2 not adjacent to 0 at t=5
+        sched = Schedule([Transmission(0, 5.0, 1.0)])
+        assert uninformed_probability(det_static, sched, 2, 99.0, 0) == 1.0
+
+
+class TestFadingProbabilities:
+    def test_product_of_failures(self, det_fading):
+        # two transmissions from 0 to 1 inside the same contact
+        w = 0.5 * _w(det_fading, 0, 1, 5.0)
+        sched = Schedule([Transmission(0, 5.0, w), Transmission(0, 10.0, w)])
+        f1 = det_fading.failure(0, 1, 5.0, w)
+        f2 = det_fading.failure(0, 1, 10.0, w)
+        p = uninformed_probability(det_fading, sched, 1, 99.0, 0)
+        assert p == pytest.approx(f1 * f2)
+
+    def test_monotone_in_time(self, det_fading):
+        w = _w(det_fading, 0, 1, 5.0)
+        sched = Schedule([Transmission(0, 5.0, w), Transmission(0, 10.0, w)])
+        ps = [
+            uninformed_probability(det_fading, sched, 1, t, 0)
+            for t in (0.0, 5.0, 7.0, 10.0, 50.0)
+        ]
+        for a, b in zip(ps, ps[1:]):
+            assert b <= a
+
+    def test_monotone_in_added_transmissions(self, det_fading):
+        w = _w(det_fading, 0, 1, 5.0) * 0.3
+        s1 = Schedule([Transmission(0, 5.0, w)])
+        s2 = s1.append(Transmission(0, 12.0, w))
+        p1 = uninformed_probability(det_fading, s1, 1, 99.0, 0)
+        p2 = uninformed_probability(det_fading, s2, 1, 99.0, 0)
+        assert p2 < p1
+
+    def test_w0_reaches_epsilon(self, det_fading):
+        w0 = _w(det_fading, 0, 1, 5.0)  # the Section VI-B single-hop cost
+        sched = Schedule([Transmission(0, 5.0, w0)])
+        p = uninformed_probability(det_fading, sched, 1, 99.0, 0)
+        assert p == pytest.approx(det_fading.params.epsilon)
+
+
+class TestBulkAndInformedTime:
+    def test_bulk_matches_single(self, det_fading):
+        w = _w(det_fading, 0, 1, 5.0)
+        sched = Schedule(
+            [Transmission(0, 5.0, w), Transmission(0, 12.0, _w(det_fading, 0, 3, 12.0))]
+        )
+        bulk = uninformed_probabilities(det_fading, sched, 99.0, 0)
+        for n in det_fading.nodes:
+            assert bulk[n] == pytest.approx(
+                uninformed_probability(det_fading, sched, n, 99.0, 0)
+            )
+
+    def test_informed_time_static(self, det_static):
+        w01 = _w(det_static, 0, 1, 5.0)
+        w12 = _w(det_static, 1, 2, 25.0)
+        sched = Schedule([Transmission(0, 5.0, w01), Transmission(1, 25.0, w12)])
+        assert informed_time(det_static, sched, 0, 0) == 0.0
+        assert informed_time(det_static, sched, 1, 0) == 5.0
+        assert informed_time(det_static, sched, 2, 0) == 25.0
+        assert informed_time(det_static, sched, 3, 0) == math.inf
+
+    def test_is_informed_uses_eps(self, det_fading):
+        w0 = _w(det_fading, 0, 1, 5.0)
+        sched = Schedule([Transmission(0, 5.0, w0)])
+        # φ(w0) ≈ ε up to rounding; a slightly looser ε must accept it and a
+        # much tighter one must reject it.
+        assert is_informed(det_fading, sched, 1, 10.0, 0, eps=0.011)
+        assert not is_informed(det_fading, sched, 1, 10.0, 0, eps=0.001)

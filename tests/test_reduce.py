@@ -1,0 +1,114 @@
+"""Schedule reduction passes: removal, cost lowering, upgrade-and-prune."""
+
+import pytest
+
+from repro.schedule import (
+    Schedule,
+    Transmission,
+    check_feasibility,
+    lower_costs,
+    remove_redundant,
+    upgrade_and_prune,
+)
+
+
+def _w(tveg, u, v, t):
+    return tveg.min_cost(u, v, t)
+
+
+@pytest.fixture
+def feasible_with_waste(det_static):
+    """A feasible schedule with one plainly redundant transmission."""
+    w_cover = max(_w(det_static, 0, 1, 15.0), _w(det_static, 0, 3, 15.0))
+    return Schedule(
+        [
+            Transmission(0, 15.0, w_cover),                      # covers 1, 3
+            Transmission(1, 25.0, _w(det_static, 1, 2, 25.0)),   # covers 2
+            Transmission(0, 62.0, _w(det_static, 0, 1, 62.0)),   # redundant
+        ]
+    )
+
+
+class TestRemoveRedundant:
+    def test_drops_waste(self, det_static, feasible_with_waste):
+        reduced = remove_redundant(det_static, feasible_with_waste, 0, 100.0)
+        assert len(reduced) == 2
+        assert check_feasibility(det_static, reduced, 0, 100.0).feasible
+        assert reduced.total_cost < feasible_with_waste.total_cost
+
+    def test_keeps_necessary(self, det_static):
+        sched = Schedule(
+            [
+                Transmission(
+                    0, 15.0,
+                    max(_w(det_static, 0, 1, 15.0), _w(det_static, 0, 3, 15.0)),
+                ),
+                Transmission(1, 25.0, _w(det_static, 1, 2, 25.0)),
+            ]
+        )
+        assert remove_redundant(det_static, sched, 0, 100.0) == sched
+
+    def test_infeasible_input_unchanged(self, det_static):
+        bad = Schedule([Transmission(2, 45.0, 1.0)])
+        assert remove_redundant(det_static, bad, 0, 100.0) == bad
+
+    def test_never_increases_cost(self, det_static, feasible_with_waste):
+        reduced = remove_redundant(det_static, feasible_with_waste, 0, 100.0)
+        assert reduced.total_cost <= feasible_with_waste.total_cost
+
+
+class TestLowerCosts:
+    def test_rounds_down_overpowered(self, det_static):
+        # transmit at 3× the needed cost; lowering should recover the level
+        w_needed = max(_w(det_static, 0, 1, 15.0), _w(det_static, 0, 3, 15.0))
+        sched = Schedule(
+            [
+                Transmission(0, 15.0, 3.0 * w_needed),
+                Transmission(1, 25.0, _w(det_static, 1, 2, 25.0)),
+            ]
+        )
+        lowered = lower_costs(det_static, sched, 0, 100.0)
+        assert lowered.total_cost < sched.total_cost
+        assert check_feasibility(det_static, lowered, 0, 100.0).feasible
+        assert lowered[0].cost == pytest.approx(w_needed)
+
+    def test_minimal_costs_untouched(self, det_static):
+        sched = Schedule(
+            [
+                Transmission(
+                    0, 15.0,
+                    max(_w(det_static, 0, 1, 15.0), _w(det_static, 0, 3, 15.0)),
+                ),
+                Transmission(1, 25.0, _w(det_static, 1, 2, 25.0)),
+            ]
+        )
+        assert lower_costs(det_static, sched, 0, 100.0).total_cost == pytest.approx(
+            sched.total_cost
+        )
+
+
+class TestUpgradeAndPrune:
+    def test_merges_split_coverage(self, det_static):
+        # Two separate transmissions by 0 (one per neighbor) where one
+        # higher-level transmission covers both.
+        w1 = _w(det_static, 0, 1, 15.0)
+        w3 = _w(det_static, 0, 3, 15.0)
+        sched = Schedule(
+            [
+                Transmission(0, 15.0, min(w1, w3)),   # covers the nearer one
+                Transmission(0, 16.0, max(w1, w3)),   # covers both, later
+                Transmission(1, 25.0, _w(det_static, 1, 2, 25.0)),
+            ]
+        )
+        improved = upgrade_and_prune(det_static, sched, 0, 100.0)
+        assert improved.total_cost <= sched.total_cost
+        assert check_feasibility(det_static, improved, 0, 100.0).feasible
+
+    def test_never_increases_cost(self, det_static, feasible_with_waste):
+        improved = upgrade_and_prune(det_static, feasible_with_waste, 0, 100.0)
+        assert improved.total_cost <= feasible_with_waste.total_cost
+        assert check_feasibility(det_static, improved, 0, 100.0).feasible
+
+    def test_infeasible_input_unchanged(self, det_static):
+        bad = Schedule([Transmission(2, 45.0, 1.0)])
+        assert upgrade_and_prune(det_static, bad, 0, 100.0) == bad

@@ -1,0 +1,134 @@
+"""Theorem 4.1's Set Cover ↔ TMEDB correspondence, verified end to end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import make_scheduler
+from repro.errors import GraphModelError, InfeasibleError
+from repro.reduction import (
+    SetCoverInstance,
+    exact_set_cover,
+    greedy_set_cover,
+    schedule_to_cover,
+    tmedb_from_set_cover,
+)
+from repro.reduction.setcover import DELTA_COST, UNIT_COST
+from repro.schedule import check_feasibility
+
+
+@pytest.fixture
+def classic():
+    """U = {1..5}; S0={1,2,3}, S1={2,4}, S2={3,4}, S3={4,5}; OPT = 2."""
+    return SetCoverInstance.of(
+        {1, 2, 3, 4, 5}, [{1, 2, 3}, {2, 4}, {3, 4}, {4, 5}]
+    )
+
+
+class TestSetCoverSolvers:
+    def test_exact(self, classic):
+        cover = exact_set_cover(classic)
+        assert cover is not None
+        assert classic.is_cover(cover)
+        assert len(cover) == 2  # {S0, S3}
+
+    def test_greedy_valid(self, classic):
+        cover = greedy_set_cover(classic)
+        assert cover is not None
+        assert classic.is_cover(cover)
+        assert len(cover) >= 2
+
+    def test_uncoverable(self):
+        inst = SetCoverInstance.of({1, 2, 3}, [{1}, {2}])
+        assert exact_set_cover(inst) is None
+        assert greedy_set_cover(inst) is None
+
+    def test_validation(self):
+        with pytest.raises(GraphModelError):
+            SetCoverInstance.of(set(), [])
+        with pytest.raises(GraphModelError):
+            SetCoverInstance.of({1}, [{1, 2}])
+
+
+class TestReduction:
+    def test_instance_shape(self, classic):
+        tveg, source, deadline = tmedb_from_set_cover(classic)
+        # 1 source + 4 set nodes + 5 element nodes
+        assert tveg.num_nodes == 10
+        assert deadline == 2.0
+        # phase structure: source adjacent to sets early, not late
+        assert tveg.adjacent(source, ("set", 0), 0.5)
+        assert not tveg.adjacent(source, ("set", 0), 1.5)
+        assert tveg.adjacent(("set", 0), ("elem", 1), 1.5)
+
+    def test_edge_costs_match_construction(self, classic):
+        tveg, source, _ = tmedb_from_set_cover(classic)
+        assert tveg.min_cost(source, ("set", 0), 0.5) == pytest.approx(
+            DELTA_COST, rel=1e-9
+        )
+        assert tveg.min_cost(("set", 0), ("elem", 1), 1.5) == pytest.approx(
+            UNIT_COST, rel=1e-9
+        )
+
+    def test_optimal_energy_equals_cover_size(self, classic):
+        tveg, source, deadline = tmedb_from_set_cover(classic)
+        opt = make_scheduler("oracle", max_nodes=12).run(tveg, source, deadline)
+        opt_cover = len(exact_set_cover(classic))
+        expected = DELTA_COST + UNIT_COST * opt_cover
+        assert opt.schedule.total_cost == pytest.approx(expected, rel=1e-6)
+
+    def test_schedule_decodes_to_cover(self, classic):
+        tveg, source, deadline = tmedb_from_set_cover(classic)
+        sched = make_scheduler("eedcb").schedule(tveg, source, deadline)
+        assert check_feasibility(tveg, sched, source, deadline).feasible
+        cover = schedule_to_cover(classic, sched)
+        assert classic.is_cover(cover)
+
+    def test_eedcb_cost_bounds_cover_quality(self, classic):
+        # the approximation-preserving direction: EEDCB's energy gives a
+        # cover of size ≈ (energy − δ) / unit
+        tveg, source, deadline = tmedb_from_set_cover(classic)
+        sched = make_scheduler("eedcb").schedule(tveg, source, deadline)
+        cover = schedule_to_cover(classic, sched)
+        implied = round((sched.total_cost - DELTA_COST) / UNIT_COST)
+        assert implied == len(cover)
+
+    def test_uncoverable_is_infeasible(self):
+        inst = SetCoverInstance.of({1, 2, 3}, [{1}, {2}])
+        tveg, source, deadline = tmedb_from_set_cover(inst)
+        with pytest.raises(InfeasibleError):
+            make_scheduler("eedcb").run(tveg, source, deadline)
+
+
+# ----------------------------------------------------------------------
+# hypothesis: the equivalence on random small instances
+# ----------------------------------------------------------------------
+@st.composite
+def cover_instances(draw):
+    m = draw(st.integers(2, 5))          # universe size
+    n = draw(st.integers(1, 4))          # number of sets
+    universe = frozenset(range(m))
+    sets = []
+    for _ in range(n):
+        s = draw(
+            st.frozensets(st.integers(0, m - 1), min_size=1, max_size=m)
+        )
+        sets.append(s)
+    return SetCoverInstance(universe, tuple(sets))
+
+
+@given(cover_instances())
+@settings(max_examples=25, deadline=None)
+def test_equivalence_on_random_instances(instance):
+    tveg, source, deadline = tmedb_from_set_cover(instance)
+    cover = exact_set_cover(instance)
+    if cover is None:
+        with pytest.raises(InfeasibleError):
+            make_scheduler("oracle", max_nodes=12).run(tveg, source, deadline)
+        return
+    opt = make_scheduler("oracle", max_nodes=12).run(tveg, source, deadline)
+    expected = DELTA_COST + UNIT_COST * len(cover)
+    assert opt.schedule.total_cost == pytest.approx(expected, rel=1e-6)
+    decoded = schedule_to_cover(instance, opt.schedule)
+    assert instance.is_cover(decoded)
+    assert len(decoded) == len(cover)

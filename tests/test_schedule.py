@@ -1,0 +1,84 @@
+"""Schedule data model (Section IV's S = [R, T, W])."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.schedule import Schedule, Transmission
+
+
+class TestTransmission:
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            Transmission(0, -1.0, 1.0)
+        with pytest.raises(ScheduleError):
+            Transmission(0, 1.0, -1.0)
+        with pytest.raises(ScheduleError):
+            Transmission(0, float("nan"), 1.0)
+
+    def test_with_cost_time(self):
+        s = Transmission(0, 1.0, 2.0)
+        assert s.with_cost(5.0) == Transmission(0, 1.0, 5.0)
+        assert s.with_time(9.0) == Transmission(0, 9.0, 2.0)
+
+
+class TestSchedule:
+    def test_sorted_by_time(self):
+        s = Schedule([Transmission(1, 5.0, 1.0), Transmission(0, 2.0, 1.0)])
+        assert s.times == (2.0, 5.0)
+        assert s.relays == (0, 1)
+
+    def test_from_arrays_matches_paper_vectors(self):
+        s = Schedule.from_arrays([0, 1], [1.0, 2.0], [0.5, 0.25])
+        assert s.total_cost == pytest.approx(0.75)
+        assert s.costs == (0.5, 0.25)
+        with pytest.raises(ScheduleError):
+            Schedule.from_arrays([0], [1.0, 2.0], [0.5])
+
+    def test_total_cost_and_latency(self):
+        s = Schedule([Transmission(0, 1.0, 2.0), Transmission(1, 4.0, 3.0)])
+        assert s.total_cost == 5.0
+        assert s.latency() == 4.0
+        assert s.latency(tau=0.5) == 4.5
+        assert Schedule.empty().latency() == 0.0
+
+    def test_append_extend(self):
+        s = Schedule([Transmission(0, 3.0, 1.0)])
+        s2 = s.append(Transmission(1, 1.0, 1.0))
+        assert len(s) == 1  # immutable
+        assert s2.times == (1.0, 3.0)
+        s3 = s.extend([Transmission(1, 0.5, 1.0), Transmission(2, 9.0, 1.0)])
+        assert s3.times == (0.5, 3.0, 9.0)
+
+    def test_with_costs(self):
+        s = Schedule([Transmission(0, 1.0, 2.0), Transmission(1, 4.0, 3.0)])
+        s2 = s.with_costs([1.0, 1.5])
+        assert s2.total_cost == 2.5
+        assert s2.relays == s.relays and s2.times == s.times
+        with pytest.raises(ScheduleError):
+            s.with_costs([1.0])
+
+    def test_before(self):
+        s = Schedule([Transmission(0, 1.0, 1.0), Transmission(1, 4.0, 1.0)])
+        assert len(s.before(4.0)) == 2
+        assert len(s.before(4.0, inclusive=False)) == 1
+        assert len(s.before(0.5)) == 0
+
+    def test_by_relay(self):
+        s = Schedule([Transmission(0, 1.0, 1.0), Transmission(0, 4.0, 2.0)])
+        assert len(s.by_relay(0)) == 2
+        assert s.by_relay(9) == ()
+
+    def test_repeated_relays_allowed(self):
+        # the paper explicitly allows a node to forward multiple times
+        s = Schedule([Transmission(0, 1.0, 1.0), Transmission(0, 2.0, 1.0)])
+        assert s.relays == (0, 0)
+
+    def test_equality_hash(self):
+        a = Schedule([Transmission(0, 1.0, 1.0)])
+        b = Schedule([Transmission(0, 1.0, 1.0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_cost_array(self):
+        s = Schedule([Transmission(0, 1.0, 2.0), Transmission(1, 4.0, 3.0)])
+        assert s.cost_array().tolist() == [2.0, 3.0]

@@ -1,0 +1,68 @@
+"""Schedule CSV round-trips (incl. the hypothesis-generated case)."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.schedule import Schedule, Transmission
+from repro.schedule.io import read_schedule_csv, write_schedule_csv
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        sched = Schedule(
+            [Transmission(0, 1.5, 2.5e-10), Transmission(3, 0.5, 1.0e-11)]
+        )
+        buf = io.StringIO()
+        write_schedule_csv(sched, buf)
+        back = read_schedule_csv(io.StringIO(buf.getvalue()))
+        assert back == sched
+
+    def test_file(self, tmp_path):
+        sched = Schedule([Transmission(7, 10.0, 1e-9)])
+        p = tmp_path / "plan.csv"
+        write_schedule_csv(sched, p)
+        assert read_schedule_csv(p) == sched
+
+    def test_empty_schedule(self):
+        buf = io.StringIO()
+        write_schedule_csv(Schedule.empty(), buf)
+        back = read_schedule_csv(io.StringIO(buf.getvalue()))
+        assert back.is_empty
+
+    def test_string_nodes(self):
+        sched = Schedule([Transmission("alice", 1.0, 2.0)])
+        buf = io.StringIO()
+        write_schedule_csv(sched, buf)
+        back = read_schedule_csv(io.StringIO(buf.getvalue()), node_type=str)
+        assert back == sched
+
+    def test_malformed(self):
+        with pytest.raises(TraceFormatError):
+            read_schedule_csv(io.StringIO(""))
+        with pytest.raises(TraceFormatError):
+            read_schedule_csv(io.StringIO("relay,time\n0,1\n"))
+        with pytest.raises(TraceFormatError):
+            read_schedule_csv(io.StringIO("relay,time,cost\nx,1.0,2.0\n"))
+
+
+finite_time = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+finite_cost = st.floats(min_value=0.0, max_value=1e-3, allow_nan=False)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 50), finite_time, finite_cost),
+        max_size=20,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_round_trip_random(rows):
+    sched = Schedule(Transmission(r, t, w) for r, t, w in rows)
+    buf = io.StringIO()
+    write_schedule_csv(sched, buf)
+    back = read_schedule_csv(io.StringIO(buf.getvalue()))
+    assert back == sched

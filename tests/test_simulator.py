@@ -1,0 +1,133 @@
+"""Monte-Carlo simulator: determinism, causality, statistical agreement."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.schedule import Schedule, Transmission, uninformed_probability
+from repro.sim import (
+    SimulationSummary,
+    delivery_ratio,
+    run_trials,
+    schedule_normalized_energy,
+    simulate_schedule,
+)
+
+
+def _w(tveg, u, v, t):
+    return tveg.min_cost(u, v, t)
+
+
+def full_static_schedule(tveg):
+    return Schedule(
+        [
+            Transmission(0, 15.0, max(_w(tveg, 0, 1, 15.0), _w(tveg, 0, 3, 15.0))),
+            Transmission(1, 25.0, _w(tveg, 1, 2, 25.0)),
+        ]
+    )
+
+
+class TestStaticExecution:
+    def test_deterministic_delivery(self, det_static):
+        out = simulate_schedule(det_static, full_static_schedule(det_static), 0, seed=0)
+        assert out.received == frozenset({0, 1, 2, 3})
+        assert out.delivery_ratio(4) == 1.0
+
+    def test_energy_counts_fired_only(self, det_static):
+        # relay 1 never informed (first transmission omitted) → silent
+        sched = Schedule([Transmission(1, 25.0, 5.0)])
+        out = simulate_schedule(det_static, sched, 0, seed=0)
+        assert out.energy == 0.0
+        assert out.transmissions == 0
+
+    def test_scheduled_energy_option(self, det_static):
+        sched = Schedule([Transmission(1, 25.0, 5.0)])
+        out = simulate_schedule(
+            det_static, sched, 0, seed=0, count_scheduled_energy=True
+        )
+        assert out.energy == 5.0
+
+    def test_causality(self, det_static):
+        # reception times must be ≥ the informing transmission's time
+        out = simulate_schedule(det_static, full_static_schedule(det_static), 0, seed=0)
+        times = dict(out.reception_times)
+        assert times[1] == 15.0 and times[2] == 25.0
+
+    def test_insufficient_power_never_delivers(self, det_static):
+        sched = Schedule([Transmission(0, 15.0, 0.5 * _w(det_static, 0, 1, 15.0))])
+        out = simulate_schedule(det_static, sched, 0, seed=0)
+        assert 1 not in out.received
+
+
+class TestFadingExecution:
+    def test_seeded_reproducibility(self, det_fading):
+        sched = full_static_schedule(det_fading)
+        a = simulate_schedule(det_fading, sched, 0, seed=7)
+        b = simulate_schedule(det_fading, sched, 0, seed=7)
+        assert a.received == b.received and a.energy == b.energy
+
+    def test_delivery_matches_analytic_probability(self, det_fading):
+        # single-hop: MC delivery of node 1 must converge to 1 − φ(w)
+        w = 0.3 * _w(det_fading, 0, 1, 15.0)
+        sched = Schedule([Transmission(0, 15.0, w)])
+        p_fail = det_fading.failure(0, 1, 15.0, w)
+        n, hits = 4000, 0
+        rng = np.random.default_rng(123)
+        for _ in range(n):
+            out = simulate_schedule(det_fading, sched, 0, seed=rng)
+            if 1 in out.received:
+                hits += 1
+        estimate = hits / n
+        sigma = math.sqrt(p_fail * (1 - p_fail) / n)
+        assert abs(estimate - (1.0 - p_fail)) < 5 * sigma
+
+    def test_static_schedule_loses_packets_under_fading(self, paired_tvegs):
+        static, fading = paired_tvegs
+        sched = full_static_schedule(static)
+        summary = run_trials(fading, sched, 0, num_trials=300, seed=5)
+        # static min-cost gives per-hop failure 1−e^{−1} ≈ 0.63 under fading
+        assert summary.mean_delivery < 0.95
+
+    def test_w0_schedule_delivers_under_fading(self, det_fading):
+        w01 = _w(det_fading, 0, 1, 15.0)
+        w03 = _w(det_fading, 0, 3, 15.0)
+        w12 = _w(det_fading, 1, 2, 25.0)
+        sched = Schedule(
+            [Transmission(0, 15.0, max(w01, w03)), Transmission(1, 25.0, w12)]
+        )
+        summary = run_trials(det_fading, sched, 0, num_trials=300, seed=5)
+        assert summary.mean_delivery > 0.95
+
+
+class TestRunner:
+    def test_summary_fields(self, det_static):
+        s = run_trials(det_static, full_static_schedule(det_static), 0, 10, seed=0)
+        assert isinstance(s, SimulationSummary)
+        assert s.num_trials == 10 and s.num_nodes == 4
+        assert s.mean_delivery == 1.0
+        assert s.std_delivery == 0.0
+        lo, hi = s.delivery_ci95()
+        assert lo <= s.mean_delivery <= hi
+
+    def test_order_independent_trials(self, det_fading):
+        sched = full_static_schedule(det_fading)
+        a = run_trials(det_fading, sched, 0, 50, seed=9)
+        b = run_trials(det_fading, sched, 0, 50, seed=9)
+        assert a.mean_delivery == b.mean_delivery
+        assert a.mean_energy == b.mean_energy
+
+
+class TestMetrics:
+    def test_normalized_energy(self, det_static):
+        sched = full_static_schedule(det_static)
+        n = schedule_normalized_energy(sched, det_static.params)
+        assert n == pytest.approx(sched.total_cost / det_static.params.decode_energy)
+
+    def test_delivery_ratio_aggregate(self, det_static):
+        outs = [
+            simulate_schedule(det_static, full_static_schedule(det_static), 0, seed=s)
+            for s in range(3)
+        ]
+        assert delivery_ratio(outs, 4) == 1.0
+        assert delivery_ratio([], 4) == 0.0

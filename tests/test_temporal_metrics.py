@@ -1,0 +1,55 @@
+"""Temporal metrics: degree series, contact statistics, density."""
+
+import numpy as np
+import pytest
+
+from repro.temporal import (
+    average_degree,
+    average_degree_series,
+    contact_durations,
+    degree_profile,
+    inter_contact_times,
+    pair_contact_counts,
+    temporal_density,
+)
+
+
+class TestDegree:
+    def test_average_degree_det(self, det_tvg):
+        # at t=15: contacts (0,1) and (0,3) live → degrees 2,1,0,1 → avg 1.0
+        assert average_degree(det_tvg, 15.0) == pytest.approx(1.0)
+        # at t=45: contacts (1,2) and (2,3) live → avg 1.0
+        assert average_degree(det_tvg, 45.0) == pytest.approx(1.0)
+        # at t=55: only (2,3) → avg 0.5
+        assert average_degree(det_tvg, 55.0) == pytest.approx(0.5)
+
+    def test_series(self, det_tvg):
+        ts, ds = average_degree_series(det_tvg, [15.0, 55.0])
+        assert list(ts) == [15.0, 55.0]
+        assert ds[0] == pytest.approx(1.0)
+        assert ds[1] == pytest.approx(0.5)
+
+    def test_profile_grid(self, det_tvg):
+        ts, ds = degree_profile(det_tvg, 0.0, 90.0, 30.0)
+        assert list(ts) == [0.0, 30.0, 60.0, 90.0]
+        assert len(ds) == 4
+
+
+class TestContactStats:
+    def test_durations(self, det_tvg):
+        durs = sorted(contact_durations(det_tvg))
+        assert durs == [15.0, 30.0, 30.0, 40.0, 40.0]
+
+    def test_inter_contact_times(self, det_tvg):
+        # only pair (0,1) has two contacts: gap 60 − 30 = 30
+        gaps = inter_contact_times(det_tvg)
+        assert list(gaps) == [30.0]
+
+    def test_pair_contact_counts(self, det_tvg):
+        counts = pair_contact_counts(det_tvg)
+        assert counts[(0, 1)] == 2
+        assert counts[(1, 2)] == 1
+
+    def test_temporal_density(self, det_tvg):
+        total = 30 + 40 + 30 + 40 + 15
+        assert temporal_density(det_tvg) == pytest.approx(total / (6 * 100.0))

@@ -1,0 +1,88 @@
+"""Unit conversions and the Section VII parameter set."""
+
+import math
+
+import pytest
+
+from repro.core.units import db_to_linear, dbm_to_watts, linear_to_db, watts_to_dbm
+from repro.errors import ChannelModelError
+from repro.params import PAPER_PARAMS, PhyParams
+
+
+class TestUnits:
+    def test_db_round_trip(self):
+        for db in (-30.0, 0.0, 3.0, 25.9):
+            assert linear_to_db(db_to_linear(db)) == pytest.approx(db)
+
+    def test_known_values(self):
+        assert db_to_linear(0.0) == 1.0
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert db_to_linear(3.0) == pytest.approx(1.9953, rel=1e-3)
+
+    def test_dbm_round_trip(self):
+        assert watts_to_dbm(dbm_to_watts(17.0)) == pytest.approx(17.0)
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            watts_to_dbm(-1.0)
+
+
+class TestPhyParams:
+    def test_paper_defaults(self):
+        p = PAPER_PARAMS
+        assert p.noise_density == 4.32e-21
+        assert p.gamma_th_db == 25.9
+        assert p.data_rate == 1e6
+        assert p.path_loss_exponent == 2.0
+        assert p.epsilon == 0.01
+
+    def test_derived_quantities(self):
+        p = PAPER_PARAMS
+        assert p.gamma_th == pytest.approx(10 ** 2.59)
+        assert p.noise_power == pytest.approx(4.32e-15)
+        assert p.decode_energy == pytest.approx(p.noise_power * p.gamma_th)
+
+    def test_static_min_cost_matches_eq2(self):
+        p = PAPER_PARAMS
+        d = 5.0
+        gain = d ** -2.0
+        # Eq. (2): w = N0·B·γ_th / h
+        assert p.static_min_cost(gain) == pytest.approx(
+            p.noise_power * p.gamma_th * d**2
+        )
+
+    def test_rayleigh_w0_matches_section_6b(self):
+        p = PAPER_PARAMS
+        d = 5.0
+        w0 = p.rayleigh_single_hop_cost(d)
+        # φ(w0) = 1 − exp(−β/w0) must equal ε
+        beta = p.rayleigh_beta(d)
+        assert 1.0 - math.exp(-beta / w0) == pytest.approx(p.epsilon)
+
+    def test_normalize_energy(self):
+        p = PAPER_PARAMS
+        assert p.normalize_energy(p.decode_energy) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ChannelModelError):
+            PhyParams(epsilon=0.0)
+        with pytest.raises(ChannelModelError):
+            PhyParams(epsilon=1.0)
+        with pytest.raises(ChannelModelError):
+            PhyParams(noise_density=-1.0)
+        with pytest.raises(ChannelModelError):
+            PhyParams(w_min=2.0, w_max=1.0)
+        with pytest.raises(ChannelModelError):
+            PhyParams(path_loss_exponent=0.0)
+
+    def test_with_(self):
+        p = PAPER_PARAMS.with_(epsilon=0.05)
+        assert p.epsilon == 0.05
+        assert p.noise_density == PAPER_PARAMS.noise_density
+
+    def test_gain_from_distance_rejects_nonpositive(self):
+        with pytest.raises(ChannelModelError):
+            PAPER_PARAMS.gain_from_distance(0.0)

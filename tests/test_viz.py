@@ -1,0 +1,53 @@
+"""ASCII timeline rendering."""
+
+import pytest
+
+from repro.algorithms import make_scheduler
+from repro.schedule import Schedule, Transmission, ascii_timeline
+
+
+class TestAsciiTimeline:
+    @pytest.fixture
+    def rendered(self, det_static):
+        sched = make_scheduler("eedcb").schedule(det_static, 0, 100.0)
+        return sched, ascii_timeline(det_static, sched, 0, 100.0, width=60)
+
+    def test_one_row_per_node_plus_header_ruler(self, det_static, rendered):
+        _, text = rendered
+        lines = text.splitlines()
+        assert len(lines) == det_static.num_nodes + 2
+
+    def test_source_and_transmissions_marked(self, det_static, rendered):
+        sched, text = rendered
+        body = "\n".join(text.splitlines()[1:-1])  # skip header + ruler
+        assert "S" in body
+        assert body.count("T") == len({(s.relay, round(s.time, 6)) for s in sched})
+
+    def test_receptions_marked(self, rendered):
+        _, text = rendered
+        body = "\n".join(text.splitlines()[1:-1])
+        # three non-source nodes get informed
+        assert body.count("R") == 3
+
+    def test_feasibility_in_header(self, rendered):
+        _, text = rendered
+        assert "feasible=True" in text
+
+    def test_contact_track_drawn(self, rendered):
+        _, text = rendered
+        assert "═" in text and "─" in text
+
+    def test_ruler_labels_whole(self, rendered):
+        _, text = rendered
+        assert "100" in text.splitlines()[-1]
+
+    def test_validation(self, det_static):
+        with pytest.raises(ValueError):
+            ascii_timeline(det_static, Schedule.empty(), 0, 100.0, width=5)
+        with pytest.raises(ValueError):
+            ascii_timeline(det_static, Schedule.empty(), 0, 0.0)
+
+    def test_empty_schedule_renders(self, det_static):
+        text = ascii_timeline(det_static, Schedule.empty(), 0, 100.0)
+        assert "feasible=False" in text
+        assert text.count("R") == 0
