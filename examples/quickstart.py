@@ -1,22 +1,15 @@
 """Quickstart: schedule one energy-efficient broadcast on a dynamic network.
 
-Builds a Haggle-like contact trace (the paper's evaluation substrate), turns
-a 2000 s window of it into a time-varying energy-demand graph, runs the
-EEDCB scheduler (Section VI-A), and verifies the four TMEDB feasibility
-conditions (Section IV).
+One call does the whole pipeline: :func:`repro.plan_broadcast` builds a
+time-varying energy-demand graph from a window of a Haggle-like contact
+trace (the paper's evaluation substrate), picks a broadcast-feasible
+source, runs the EEDCB scheduler (Section VI-A), and verifies the four
+TMEDB feasibility conditions (Section IV).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    HaggleLikeConfig,
-    PAPER_PARAMS,
-    check_feasibility,
-    haggle_like_trace,
-    make_scheduler,
-    tveg_from_trace,
-)
-from repro.temporal import broadcast_feasible_sources
+from repro import PAPER_PARAMS, HaggleLikeConfig, haggle_like_trace, obs, plan_broadcast
 
 
 def main() -> None:
@@ -24,48 +17,46 @@ def main() -> None:
     trace = haggle_like_trace(HaggleLikeConfig(num_nodes=20), seed=7)
     print(f"trace: {trace}")
 
-    # 2. Pick a 2000 s broadcast window after the warm-up ramp and build a
-    #    static-channel TVEG over it (distances synthesized per contact).
+    # 2. (Optional) turn on observability to see where the time goes.
+    obs.enable()
+
+    # 3. Plan the broadcast: a 2000 s window after the warm-up ramp, a
+    #    static-channel TVEG, an auto-picked feasible source, EEDCB.
     delay = 2000.0
-    window = trace.restrict_window(9000.0, 9000.0 + delay).shift(-9000.0)
-    tveg = tveg_from_trace(window, "static", seed=7)
-
-    # 3. Choose a source that can temporally reach everyone within T.
-    sources = sorted(broadcast_feasible_sources(tveg.tvg, 0.0, delay))
-    if not sources:
-        raise SystemExit("no broadcast-feasible source in this window")
-    source = sources[0]
-    print(f"source: node {source} (of {len(sources)} feasible candidates)")
-
-    # 4. Schedule with EEDCB: DTS → auxiliary graph → Steiner tree.
-    result = make_scheduler("eedcb").run(tveg, source, delay)
-    schedule = result.schedule
-    print(
-        f"schedule: {len(schedule)} transmissions, "
-        f"normalized energy {PAPER_PARAMS.normalize_energy(schedule.total_cost):.1f}"
+    plan = plan_broadcast(
+        trace, None, delay, algorithm="eedcb", window=9000.0, seed=7
     )
-    for s in schedule:
+    print(f"source: node {plan.source} (auto-selected)")
+    print(
+        f"schedule: {len(plan.schedule)} transmissions, "
+        f"normalized energy {plan.normalized_energy():.1f}"
+    )
+    for s in plan.schedule:
         print(f"  relay {s.relay:>2} at t={s.time:7.1f}s  "
               f"w={PAPER_PARAMS.normalize_energy(s.cost):8.2f} (normalized)")
 
-    # 5. Verify the Section IV feasibility conditions.
-    report = check_feasibility(tveg, schedule, source, delay)
-    print(f"feasible: {report.feasible}")
+    # 4. The Section IV feasibility conditions were checked for us.
+    print(f"feasible: {plan.feasible}")
 
-    # 6. Eyeball the plan against the contact structure.
+    # 5. Eyeball the plan against the contact structure.
     from repro.schedule import ascii_timeline
 
     print()
-    print(ascii_timeline(tveg, schedule, source, delay, width=72))
+    print(ascii_timeline(plan.tveg, plan.schedule, plan.source, delay, width=72))
     print(
         "aux graph:",
-        result.info["aux_nodes"],
+        plan.info["aux_nodes"],
         "nodes /",
-        result.info["aux_edges"],
+        plan.info["aux_edges"],
         "edges,",
-        result.info["dts_points"],
+        plan.info["dts_points"],
         "DTS points",
     )
+
+    # 6. Where the time went (per-stage wall times from the obs snapshot).
+    for stage, secs in sorted(plan.info["stage_seconds"].items()):
+        print(f"  stage {stage:<12} {1e3 * secs:7.2f} ms")
+    obs.disable()
 
 
 if __name__ == "__main__":

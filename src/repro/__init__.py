@@ -14,16 +14,19 @@ A from-scratch reproduction of Qiu, Shen & Yu (ICPP 2015):
 
 Quick start::
 
-    from repro import (haggle_like_trace, HaggleLikeConfig,
-                       tveg_from_trace, make_scheduler, check_feasibility)
+    from repro import haggle_like_trace, HaggleLikeConfig, plan_broadcast
 
     trace = haggle_like_trace(HaggleLikeConfig(num_nodes=20), seed=1)
-    window = trace.restrict_window(8000, 10000).shift(-8000)
-    tveg = tveg_from_trace(window, "static", seed=1)
-    schedule = make_scheduler("eedcb").schedule(tveg, source=0, deadline=2000)
-    print(schedule.total_cost, check_feasibility(tveg, schedule, 0, 2000).feasible)
+    plan = plan_broadcast(trace, None, 2000.0,
+                          algorithm="eedcb", window=(8000.0, 10000.0), seed=1)
+    print(plan.total_cost, plan.feasible)
+
+(or assemble the pipeline by hand with ``tveg_from_trace`` /
+``make_scheduler`` / ``check_feasibility`` — ``plan_broadcast`` is sugar,
+not a different code path).
 """
 
+from . import obs
 from .algorithms import (
     EEDCB,
     FREEDCB,
@@ -35,8 +38,10 @@ from .algorithms import (
     SCHEDULERS,
     Scheduler,
     SchedulerResult,
+    canonical_scheduler_name,
     make_scheduler,
 )
+from .api import BroadcastPlan, plan_broadcast
 from .channels import (
     AbsentED,
     EDFunction,
@@ -133,9 +138,15 @@ __all__ = [
     "informed_time",
     "FeasibilityReport",
     "check_feasibility",
+    # high-level API
+    "plan_broadcast",
+    "BroadcastPlan",
+    # observability
+    "obs",
     # algorithms
     "Scheduler",
     "SchedulerResult",
+    "canonical_scheduler_name",
     "make_scheduler",
     "SCHEDULERS",
     "EEDCB",

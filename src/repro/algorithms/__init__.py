@@ -1,6 +1,13 @@
 """Broadcast schedulers: EEDCB, FR-EEDCB, the baselines, and the oracle."""
 
-from .base import SCHEDULERS, Scheduler, SchedulerResult, make_scheduler, register
+from .base import (
+    SCHEDULERS,
+    Scheduler,
+    SchedulerResult,
+    canonical_scheduler_name,
+    make_scheduler,
+    register,
+)
 from .eedcb import EEDCB
 from .eventsim import POWER_POLICIES, event_times, run_event_scheduler
 from .fr_eedcb import FREEDCB
@@ -11,6 +18,7 @@ from .random_select import FRRand, Rand
 __all__ = [
     "Scheduler",
     "SchedulerResult",
+    "canonical_scheduler_name",
     "make_scheduler",
     "register",
     "SCHEDULERS",

@@ -17,7 +17,14 @@ from ..errors import SolverError
 from ..schedule.schedule import Schedule
 from ..tveg.graph import TVEG
 
-__all__ = ["SchedulerResult", "Scheduler", "register", "make_scheduler", "SCHEDULERS"]
+__all__ = [
+    "SchedulerResult",
+    "Scheduler",
+    "register",
+    "canonical_scheduler_name",
+    "make_scheduler",
+    "SCHEDULERS",
+]
 
 Node = Hashable
 
@@ -35,7 +42,34 @@ class SchedulerResult:
 
 
 class Scheduler(ABC):
-    """Base class: computes a broadcast relay schedule on a TVEG."""
+    """Base class: computes a broadcast relay schedule on a TVEG.
+
+    **Standardized ``SchedulerResult.info`` keys.**  Schedulers report
+    solver metadata under shared names so experiments and the obs exporters
+    can read any algorithm's numbers uniformly:
+
+    ``stage_seconds``
+        Dict of per-stage wall times in seconds.  EEDCB-family stages:
+        ``reachability``, ``dts``, ``auxgraph``, ``steiner``, ``extract``,
+        ``reduce``; FR-* algorithms add ``allocation``; the event-driven
+        baselines report ``event_sim``.  Recorded whether or not tracing
+        is enabled.
+    ``aux_nodes`` / ``aux_edges``
+        Auxiliary-graph size (Section VI-A reduction).
+    ``dts_points``
+        Total points in the instance's discrete time set.
+    ``dcs_levels``
+        Total discrete-cost-set levels over every usable (node, point).
+    ``steiner_expansions``
+        Work counter of the Steiner solve (settled Dijkstra pops for the
+        greedy solver, recursive subproblems for Charikar, 0 for sptree).
+    ``nlp_iterations``
+        Total SLSQP iterations of the Section VI-B allocation (FR-* only).
+    ``memt_method`` / ``allocation_method`` / ``tree_cost`` / ``raw_cost``
+        Method labels and pre-reduction costs, where applicable.
+
+    Keys beyond these are algorithm-specific extras.
+    """
 
     #: registry key and display name (the paper's algorithm acronym)
     name: str = "abstract"
@@ -82,15 +116,34 @@ def register(name: str):
     return deco
 
 
+def canonical_scheduler_name(name: str) -> str:
+    """Resolve a scheduler name or alias to its canonical registry key.
+
+    Accepted spellings are case-insensitive and treat hyphens, underscores,
+    and spaces interchangeably — ``"fr-eedcb"``, ``"FR-EEDCB"``,
+    ``"fr_eedcb"``, and the fully collapsed ``"freedcb"`` all resolve to
+    ``"fr-eedcb"``.  Raises :class:`~repro.errors.SolverError` listing the
+    canonical names when nothing matches.
+    """
+    key = str(name).strip().lower().replace("_", "-").replace(" ", "-")
+    if key in SCHEDULERS:
+        return key
+    collapsed = key.replace("-", "")
+    for canonical in SCHEDULERS:
+        if canonical.replace("-", "") == collapsed:
+            return canonical
+    raise SolverError(
+        f"unknown scheduler {name!r}; canonical names: "
+        f"{', '.join(sorted(SCHEDULERS))}"
+    )
+
+
 def make_scheduler(name: str, **kwargs) -> Scheduler:
     """Instantiate a registered scheduler by its paper acronym.
 
-    Known names: ``eedcb``, ``fr-eedcb``, ``greed``, ``fr-greed``, ``rand``,
-    ``fr-rand`` (case-insensitive).
+    Canonical names: ``eedcb``, ``fr-eedcb``, ``greed``, ``fr-greed``,
+    ``rand``, ``fr-rand``, ``oracle``.  Aliases are normalized by
+    :func:`canonical_scheduler_name` (``"FR-EEDCB"``, ``"fr_eedcb"``, and
+    ``"freedcb"`` are all the same scheduler).
     """
-    key = name.lower()
-    if key not in SCHEDULERS:
-        raise SolverError(
-            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
-        )
-    return SCHEDULERS[key](**kwargs)
+    return SCHEDULERS[canonical_scheduler_name(name)](**kwargs)

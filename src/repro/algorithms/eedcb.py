@@ -18,8 +18,9 @@ identical pipeline doubles as FR-EEDCB's backbone-selection stage.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional
+from typing import Dict, Hashable, Optional
 
+from .. import obs
 from ..auxgraph.build import build_aux_graph
 from ..auxgraph.extract import extract_schedule
 from ..dts.dts import build_dts
@@ -75,33 +76,60 @@ class EEDCB(Scheduler):
             )
         from ..temporal.reachability import reachable_set
 
-        required = self._targets if self._targets is not None else tveg.nodes
-        reached = reachable_set(tveg.tvg, source, start_time, deadline)
-        missing = [n for n in required if n not in reached]
-        if missing:
-            raise InfeasibleError(
-                f"no journey reaches {missing!r} from {source!r} by {deadline:g}"
-            )
-        dts = build_dts(tveg.tvg, deadline)
-        aux = build_aux_graph(tveg, source, deadline, dts, targets=self._targets)
-        edges = solve_memt(
-            aux.graph, aux.root, aux.terminals, method=self._method, level=self._level
-        )
-        schedule = extract_schedule(aux, edges)
-        raw_cost = schedule.total_cost
-        if self._reduce:
-            kw = {"targets": self._targets}
-            schedule = remove_redundant(tveg, schedule, source, deadline, **kw)
-            schedule = upgrade_and_prune(tveg, schedule, source, deadline, **kw)
-            schedule = lower_costs(tveg, schedule, source, deadline, **kw)
+        stage_seconds: Dict[str, float] = {}
+        steiner_stats: Dict[str, int] = {}
+        with obs.span("scheduler.run", algorithm="eedcb"):
+            with obs.stage(stage_seconds, "reachability", "eedcb.reachability"):
+                required = (
+                    self._targets if self._targets is not None else tveg.nodes
+                )
+                reached = reachable_set(tveg.tvg, source, start_time, deadline)
+                missing = [n for n in required if n not in reached]
+            if missing:
+                raise InfeasibleError(
+                    f"no journey reaches {missing!r} from {source!r} by {deadline:g}"
+                )
+            with obs.stage(stage_seconds, "dts", "eedcb.dts"):
+                dts = build_dts(tveg.tvg, deadline)
+            with obs.stage(stage_seconds, "auxgraph", "eedcb.auxgraph"):
+                aux = build_aux_graph(
+                    tveg, source, deadline, dts, targets=self._targets
+                )
+            with obs.stage(
+                stage_seconds, "steiner", "eedcb.steiner", method=self._method
+            ):
+                edges = solve_memt(
+                    aux.graph,
+                    aux.root,
+                    aux.terminals,
+                    method=self._method,
+                    level=self._level,
+                    stats=steiner_stats,
+                )
+            with obs.stage(stage_seconds, "extract", "eedcb.extract"):
+                schedule = extract_schedule(aux, edges)
+            raw_cost = schedule.total_cost
+            if self._reduce:
+                kw = {"targets": self._targets}
+                with obs.stage(stage_seconds, "reduce", "eedcb.reduce"):
+                    schedule = remove_redundant(
+                        tveg, schedule, source, deadline, **kw
+                    )
+                    schedule = upgrade_and_prune(
+                        tveg, schedule, source, deadline, **kw
+                    )
+                    schedule = lower_costs(tveg, schedule, source, deadline, **kw)
         return SchedulerResult(
             schedule=schedule,
             info={
                 "aux_nodes": aux.num_nodes,
                 "aux_edges": aux.num_edges,
                 "dts_points": dts.total_points(),
+                "dcs_levels": aux.dcs_levels,
+                "steiner_expansions": steiner_stats.get("expansions", 0),
                 "tree_cost": tree_cost(aux.graph, edges),
                 "raw_cost": raw_cost,
                 "memt_method": self._method,
+                "stage_seconds": stage_seconds,
             },
         )

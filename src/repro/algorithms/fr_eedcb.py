@@ -15,8 +15,9 @@ Two stages, exactly as the paper decomposes TMEDB-R:
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Dict, Hashable
 
+from .. import obs
 from ..allocation.nlp import solve_allocation
 from ..allocation.problem import build_allocation_problem
 from ..errors import SolverError
@@ -62,12 +63,14 @@ class FREEDCB(Scheduler):
             )
         backbone_result = self._backbone.run(tveg, source, deadline, start_time)
         backbone = backbone_result.schedule
-        problem = build_allocation_problem(
-            tveg, backbone, source, targets=self._targets
-        )
-        alloc = solve_allocation(problem, use_slsqp=self._use_slsqp)
-        schedule = backbone.with_costs(alloc.costs)
         info = dict(backbone_result.info)
+        stage_seconds: Dict[str, float] = dict(info.get("stage_seconds", {}))
+        with obs.stage(stage_seconds, "allocation", "fr_eedcb.allocation"):
+            problem = build_allocation_problem(
+                tveg, backbone, source, targets=self._targets
+            )
+            alloc = solve_allocation(problem, use_slsqp=self._use_slsqp)
+        schedule = backbone.with_costs(alloc.costs)
         info.update(
             {
                 "allocation_method": alloc.method,
@@ -75,6 +78,8 @@ class FREEDCB(Scheduler):
                 "backbone_cost": backbone.total_cost,
                 "allocated_cost": alloc.total,
                 "num_constraints": len(problem.constraints),
+                "nlp_iterations": alloc.nlp_iterations,
+                "stage_seconds": stage_seconds,
             }
         )
         return SchedulerResult(schedule=schedule, info=info)

@@ -9,8 +9,9 @@ Section VI-B NLP, exactly as the paper describes its comparison setup.
 
 from __future__ import annotations
 
-from typing import Hashable, List
+from typing import Dict, Hashable, List
 
+from .. import obs
 from ..allocation.nlp import solve_allocation
 from ..allocation.problem import build_allocation_problem
 from ..errors import SolverError
@@ -42,15 +43,20 @@ class Greed(Scheduler):
         deadline: float,
         start_time: float = 0.0,
     ) -> SchedulerResult:
-        schedule, informed = run_event_scheduler(
-            tveg, source, deadline, _greedy_select, self._policy, start_time
-        )
+        stage_seconds: Dict[str, float] = {}
+        with obs.span("scheduler.run", algorithm="greed"):
+            with obs.stage(stage_seconds, "event_sim", "greed.event_sim"):
+                schedule, informed = run_event_scheduler(
+                    tveg, source, deadline, _greedy_select, self._policy,
+                    start_time,
+                )
         return SchedulerResult(
             schedule=schedule,
             info={
                 "informed": len(informed),
                 "num_nodes": tveg.num_nodes,
                 "power_policy": self._policy,
+                "stage_seconds": stage_seconds,
             },
         )
 
@@ -81,13 +87,17 @@ class FRGreed(Scheduler):
             # for the unreached nodes; keep w0 costs for the reached part.
             info["allocation_method"] = "backbone (partial coverage)"
             return SchedulerResult(schedule=base.schedule, info=info)
-        problem = build_allocation_problem(tveg, base.schedule, source)
-        alloc = solve_allocation(problem, use_slsqp=self._use_slsqp)
+        stage_seconds: Dict[str, float] = dict(info.get("stage_seconds", {}))
+        with obs.stage(stage_seconds, "allocation", "fr_greed.allocation"):
+            problem = build_allocation_problem(tveg, base.schedule, source)
+            alloc = solve_allocation(problem, use_slsqp=self._use_slsqp)
         info.update(
             {
                 "allocation_method": alloc.method,
                 "backbone_cost": base.schedule.total_cost,
                 "allocated_cost": alloc.total,
+                "nlp_iterations": alloc.nlp_iterations,
+                "stage_seconds": stage_seconds,
             }
         )
         return SchedulerResult(

@@ -25,6 +25,7 @@ from typing import Optional
 import numpy as np
 from scipy.optimize import minimize
 
+from .. import obs
 from ..errors import InfeasibleError
 from .closed_form import balanced_allocation, closed_form_allocation
 from .coordinate import coordinate_descent_allocation
@@ -41,6 +42,8 @@ class AllocationResult:
     total: float
     method: str            # winning candidate: "slsqp" | "coordinate" | "balanced" | "closed_form"
     slsqp_converged: bool
+    #: total SLSQP iterations over every polish attempt (0 when disabled)
+    nlp_iterations: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -79,51 +82,62 @@ def solve_allocation(
     max_iter: int = 200,
 ) -> AllocationResult:
     """Solve the NLP; always returns a feasible allocation (see module doc)."""
-    w_closed = closed_form_allocation(problem)
-    if not problem.is_feasible(w_closed, tol=1e-6):
-        raise InfeasibleError(
-            "closed-form warm start is infeasible — the backbone cannot "
-            "satisfy the delivery constraints within the cost bounds"
-        )
-    candidates = [("closed_form", w_closed)]
-
-    w_balanced = balanced_allocation(problem)
-    if problem.is_feasible(w_balanced, tol=1e-6):
-        candidates.append(("balanced", w_balanced))
-
-    for label, start in (("coordinate", w_closed), ("coordinate", w_balanced)):
-        if not problem.is_feasible(start, tol=1e-6):
-            continue
-        w_coord = coordinate_descent_allocation(problem, start)
-        if problem.is_feasible(w_coord, tol=1e-6):
-            candidates.append((label, w_coord))
-
-    slsqp_ok = False
-    if use_slsqp and problem.num_vars > 0:
-        ub = problem.w_max if math.isfinite(problem.w_max) else None
-        bounds = [(problem.lb, ub)] * problem.num_vars
-        cons = _constraint_and_grad(problem)
-        # Polish from both warm starts: the sparse vertex and the balanced
-        # interior point (the vertex is singular in the flat w → 0 region,
-        # so the interior start is what lets SLSQP exploit overlap).
-        for _, start in list(candidates):
-            res = minimize(
-                fun=lambda w: float(np.sum(w)),
-                x0=np.array(start, dtype=float),
-                jac=lambda w: np.ones_like(w),
-                bounds=bounds,
-                constraints=cons,
-                method="SLSQP",
-                options={"maxiter": max_iter, "ftol": 1e-12},
+    with obs.span(
+        "allocation.solve",
+        num_vars=problem.num_vars,
+        num_constraints=len(problem.constraints),
+    ):
+        w_closed = closed_form_allocation(problem)
+        if not problem.is_feasible(w_closed, tol=1e-6):
+            raise InfeasibleError(
+                "closed-form warm start is infeasible — the backbone cannot "
+                "satisfy the delivery constraints within the cost bounds"
             )
-            slsqp_ok = slsqp_ok or bool(res.success)
-            if res.x is not None and problem.is_feasible(res.x, tol=1e-6):
-                candidates.append(("slsqp", np.array(res.x, dtype=float)))
+        candidates = [("closed_form", w_closed)]
 
-    method, best = min(candidates, key=lambda mw: float(np.sum(mw[1])))
-    return AllocationResult(
-        costs=best,
-        total=float(np.sum(best)),
-        method=method,
-        slsqp_converged=slsqp_ok,
-    )
+        w_balanced = balanced_allocation(problem)
+        if problem.is_feasible(w_balanced, tol=1e-6):
+            candidates.append(("balanced", w_balanced))
+
+        for label, start in (("coordinate", w_closed), ("coordinate", w_balanced)):
+            if not problem.is_feasible(start, tol=1e-6):
+                continue
+            w_coord = coordinate_descent_allocation(problem, start)
+            if problem.is_feasible(w_coord, tol=1e-6):
+                candidates.append((label, w_coord))
+
+        slsqp_ok = False
+        nit_total = 0
+        if use_slsqp and problem.num_vars > 0:
+            ub = problem.w_max if math.isfinite(problem.w_max) else None
+            bounds = [(problem.lb, ub)] * problem.num_vars
+            cons = _constraint_and_grad(problem)
+            # Polish from both warm starts: the sparse vertex and the balanced
+            # interior point (the vertex is singular in the flat w → 0 region,
+            # so the interior start is what lets SLSQP exploit overlap).
+            for _, start in list(candidates):
+                with obs.span("allocation.slsqp"):
+                    res = minimize(
+                        fun=lambda w: float(np.sum(w)),
+                        x0=np.array(start, dtype=float),
+                        jac=lambda w: np.ones_like(w),
+                        bounds=bounds,
+                        constraints=cons,
+                        method="SLSQP",
+                        options={"maxiter": max_iter, "ftol": 1e-12},
+                    )
+                slsqp_ok = slsqp_ok or bool(res.success)
+                nit_total += int(getattr(res, "nit", 0) or 0)
+                if res.x is not None and problem.is_feasible(res.x, tol=1e-6):
+                    candidates.append(("slsqp", np.array(res.x, dtype=float)))
+
+        method, best = min(candidates, key=lambda mw: float(np.sum(mw[1])))
+        obs.counter("allocation.solves")
+        obs.counter("allocation.slsqp_iterations", nit_total)
+        return AllocationResult(
+            costs=best,
+            total=float(np.sum(best)),
+            method=method,
+            slsqp_converged=slsqp_ok,
+            nlp_iterations=nit_total,
+        )

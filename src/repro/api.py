@@ -1,0 +1,204 @@
+"""High-level one-call broadcast planning.
+
+:func:`plan_broadcast` collapses the standard five-step pipeline —
+``restrict_window → shift → tveg_from_trace → make_scheduler → schedule`` —
+into a single call, and :class:`BroadcastPlan` bundles everything a caller
+usually wants afterwards: the schedule, the Section IV feasibility report,
+the solver's standardized ``info`` metadata, the TVEG the plan was computed
+on, and (when tracing is enabled) an observability snapshot.
+
+Example::
+
+    from repro import HaggleLikeConfig, haggle_like_trace, plan_broadcast
+
+    trace = haggle_like_trace(HaggleLikeConfig(num_nodes=20), seed=7)
+    plan = plan_broadcast(trace, None, 2000.0,
+                          algorithm="eedcb", window=(9000.0, 11000.0), seed=7)
+    print(plan.feasible, plan.total_cost, plan.info["aux_nodes"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple, Union
+
+from . import obs
+from .algorithms.base import canonical_scheduler_name, make_scheduler
+from .channels.models import ChannelModel
+from .errors import GraphModelError, InfeasibleError
+from .obs.tracer import TraceSnapshot
+from .params import PAPER_PARAMS, PhyParams
+from .schedule.feasibility import FeasibilityReport, check_feasibility
+from .schedule.schedule import Schedule
+from .temporal.reachability import broadcast_feasible_sources
+from .traces.model import ContactTrace
+from .tveg.builders import tveg_from_trace
+from .tveg.graph import TVEG
+
+__all__ = ["BroadcastPlan", "plan_broadcast"]
+
+Node = Hashable
+Window = Union[float, Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class BroadcastPlan:
+    """Everything one broadcast planning call produced.
+
+    Bundles the relay schedule, the four-condition feasibility report, the
+    scheduler's standardized ``info`` metadata (see
+    :class:`~repro.algorithms.base.Scheduler`), the TVEG the plan was
+    computed on (so callers can simulate or visualize without rebuilding
+    it), and — when tracing was enabled during planning — the observability
+    snapshot of the run.
+    """
+
+    schedule: Schedule
+    feasibility: FeasibilityReport
+    tveg: TVEG
+    source: Node
+    deadline: float
+    algorithm: str
+    channel: str
+    info: Dict[str, object] = field(default_factory=dict)
+    obs: Optional[TraceSnapshot] = None
+
+    @property
+    def feasible(self) -> bool:
+        """True iff the schedule passes all four Section IV conditions."""
+        return self.feasibility.feasible
+
+    @property
+    def total_cost(self) -> float:
+        """Total scheduled transmission cost ``Σ w_k`` (joule-scale)."""
+        return self.schedule.total_cost
+
+    def normalized_energy(self, params: Optional[PhyParams] = None) -> float:
+        """The paper's normalized energy metric for this plan."""
+        p = params if params is not None else self.tveg.params
+        return p.normalize_energy(self.schedule.total_cost)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BroadcastPlan(algorithm={self.algorithm!r}, "
+            f"source={self.source!r}, deadline={self.deadline:g}, "
+            f"transmissions={len(self.schedule)}, "
+            f"feasible={self.feasible})"
+        )
+
+
+def _window_bounds(window: Window, deadline: float) -> Tuple[float, float]:
+    """Normalize a window spec: a scalar start means ``deadline`` seconds."""
+    if isinstance(window, (int, float)):
+        start = float(window)
+        return start, start + float(deadline)
+    start, end = window
+    return float(start), float(end)
+
+
+def plan_broadcast(
+    trace_or_tveg: Union[ContactTrace, TVEG],
+    source: Optional[Node],
+    deadline: float,
+    *,
+    algorithm: str = "eedcb",
+    channel: Union[str, ChannelModel] = "static",
+    window: Optional[Window] = None,
+    seed=None,
+    params: PhyParams = PAPER_PARAMS,
+    **scheduler_kwargs,
+) -> BroadcastPlan:
+    """Plan one energy-efficient delay-constrained broadcast in a single call.
+
+    Parameters
+    ----------
+    trace_or_tveg:
+        A :class:`~repro.traces.model.ContactTrace` (the usual case — the
+        TVEG is built internally) or an already-constructed
+        :class:`~repro.tveg.graph.TVEG` (then ``channel``, ``window``,
+        ``seed``, and ``params`` do not apply; passing ``window`` raises).
+    source:
+        The broadcasting node, or ``None`` to pick the smallest
+        broadcast-feasible source automatically (raises
+        :class:`~repro.errors.InfeasibleError` when none exists).
+    deadline:
+        The delay constraint ``T`` in seconds, measured from the (shifted)
+        window start: the broadcast runs over ``[0, deadline]``.
+    algorithm:
+        Scheduler name or alias — ``"eedcb"``, ``"FR-EEDCB"``,
+        ``"fr_eedcb"``, ``"freedcb"``, ... (see
+        :func:`~repro.algorithms.base.canonical_scheduler_name`).
+    channel:
+        Channel spec for TVEG construction: ``"static"``, ``"rayleigh"``,
+        ``"rician"``, ``"nakagami"``, or a
+        :class:`~repro.channels.models.ChannelModel` instance.
+    window:
+        Optional trace window.  ``(start, end)`` restricts the trace to
+        that interval and shifts it so the broadcast starts at ``t = 0``;
+        a scalar ``start`` means ``(start, start + deadline)``.  ``None``
+        uses the trace as-is.
+    seed:
+        Seed for the synthesized link distances (and for the RAND
+        schedulers' relay choices, unless ``scheduler_kwargs`` overrides).
+    params:
+        Physical-layer parameters (defaults to the paper's).
+    scheduler_kwargs:
+        Extra constructor arguments forwarded to the scheduler (e.g.
+        ``memt_method="charikar"``).
+
+    Returns a :class:`BroadcastPlan`; the plan's ``obs`` field holds a
+    trace snapshot when ``repro.obs`` tracing is enabled, else ``None``.
+    """
+    algo = canonical_scheduler_name(algorithm)
+
+    if isinstance(trace_or_tveg, TVEG):
+        if window is not None:
+            raise GraphModelError(
+                "window applies to contact traces; restrict/shift the trace "
+                "before building a TVEG"
+            )
+        tveg = trace_or_tveg
+        channel_label = type(tveg.channel).__name__
+    elif isinstance(trace_or_tveg, ContactTrace):
+        trace = trace_or_tveg
+        if window is not None:
+            start, end = _window_bounds(window, deadline)
+            trace = trace.restrict_window(start, end).shift(-start)
+        tveg = tveg_from_trace(trace, channel, params=params, seed=seed)
+        channel_label = (
+            channel if isinstance(channel, str) else type(channel).__name__
+        )
+    else:
+        raise TypeError(
+            f"expected a ContactTrace or TVEG, got {type(trace_or_tveg).__name__}"
+        )
+
+    deadline = float(deadline)
+    if source is None:
+        feasible = sorted(broadcast_feasible_sources(tveg.tvg, 0.0, deadline))
+        if not feasible:
+            raise InfeasibleError(
+                "no broadcast-feasible source in this window; try another "
+                "window or a larger deadline"
+            )
+        source = feasible[0]
+
+    if "rand" in algo and "seed" not in scheduler_kwargs:
+        scheduler_kwargs["seed"] = seed
+    scheduler = make_scheduler(algo, **scheduler_kwargs)
+
+    with obs.span("api.plan_broadcast", algorithm=algo):
+        result = scheduler.run(tveg, source, deadline)
+        report = check_feasibility(tveg, result.schedule, source, deadline)
+
+    return BroadcastPlan(
+        schedule=result.schedule,
+        feasibility=report,
+        tveg=tveg,
+        source=source,
+        deadline=deadline,
+        algorithm=algo,
+        channel=channel_label,
+        info=dict(result.info),
+        obs=obs.snapshot() if obs.is_enabled() else None,
+    )

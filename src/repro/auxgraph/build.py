@@ -25,6 +25,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import networkx as nx
 
+from .. import obs
 from ..dts.dts import DiscreteTimeSet, build_dts
 from ..errors import GraphModelError
 from ..tveg.costsets import DiscreteCostSet, discrete_cost_set
@@ -57,6 +58,11 @@ class AuxGraph:
     def num_edges(self) -> int:
         return self.graph.number_of_edges()
 
+    @property
+    def dcs_levels(self) -> int:
+        """Total DCS levels over every (node, point) with a usable DCS."""
+        return sum(len(cs) for cs in self.cost_sets.values())
+
     def time_of(self, node: Node, point_index: int) -> float:
         return self.dts.points(node)[point_index]
 
@@ -85,6 +91,7 @@ def _point_index(points: Tuple[float, ...], t: float) -> Optional[int]:
     return None
 
 
+@obs.span("auxgraph.build")
 def build_aux_graph(
     tveg: TVEG,
     source: Node,
@@ -162,6 +169,10 @@ def build_aux_graph(
         n for n in targets if n != source
     )
     terminals = tuple(state_node(n, len(d.points(n)) - 1) for n in wanted)
+    obs.gauge("auxgraph.nodes", g.number_of_nodes())
+    obs.gauge("auxgraph.edges", g.number_of_edges())
+    obs.gauge("auxgraph.dcs_levels", sum(len(cs) for cs in cost_sets.values()))
+    obs.counter("auxgraph.builds")
     return AuxGraph(
         graph=g,
         dts=d,

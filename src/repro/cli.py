@@ -16,8 +16,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .algorithms import SCHEDULERS, make_scheduler
-from .errors import InfeasibleError, ReproError
+from . import obs
+from .algorithms import SCHEDULERS, canonical_scheduler_name, make_scheduler
+from .errors import InfeasibleError, ReproError, SolverError
 from .experiments import (
     ExperimentConfig,
     print_sweep,
@@ -43,6 +44,25 @@ from .tveg import tveg_from_trace
 __all__ = ["main", "build_parser"]
 
 
+def _algorithm_arg(value: str) -> str:
+    """argparse type: resolve scheduler aliases to canonical names."""
+    try:
+        return canonical_scheduler_name(value)
+    except SolverError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome trace_event JSON of the run (chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write aggregated timer/counter metrics as CSV",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -62,7 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     c = sub.add_parser("schedule", help="schedule one broadcast on a trace window")
     c.add_argument("trace", help="trace file (CRAWDAD or CSV)")
-    c.add_argument("--algorithm", choices=sorted(SCHEDULERS), default="eedcb")
+    c.add_argument("--algorithm", type=_algorithm_arg, default="eedcb",
+                   metavar="ALGO",
+                   help="one of %s (aliases like FR_EEDCB accepted)"
+                   % "/".join(sorted(SCHEDULERS)))
     c.add_argument("--channel", choices=("static", "rayleigh"), default=None,
                    help="default: static for plain, rayleigh for fr-* algorithms")
     c.add_argument("--window-start", type=float, default=0.0)
@@ -72,11 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("--save", default=None,
                    help="also write the schedule to this CSV file")
+    _add_obs_flags(c)
 
     m = sub.add_parser("simulate", help="schedule + Monte-Carlo delivery estimate")
     for src_parser in (m,):
         src_parser.add_argument("trace")
-        src_parser.add_argument("--algorithm", choices=sorted(SCHEDULERS), default="fr-eedcb")
+        src_parser.add_argument("--algorithm", type=_algorithm_arg,
+                                default="fr-eedcb", metavar="ALGO")
         src_parser.add_argument("--channel", choices=("static", "rayleigh"), default=None)
         src_parser.add_argument("--window-start", type=float, default=0.0)
         src_parser.add_argument("--delay", type=float, default=2000.0)
@@ -85,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--trials", type=int, default=300)
     m.add_argument("--schedule-file", default=None,
                    help="simulate this saved schedule instead of rescheduling")
+    _add_obs_flags(m)
 
     e = sub.add_parser("experiment", help="regenerate a paper figure")
     e.add_argument("figure", choices=("fig4", "fig5", "fig6", "fig7"))
@@ -94,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--seed", type=int, default=2015)
     e.add_argument("--csv-dir", default=None,
                    help="also write each panel as CSV into this directory")
+    _add_obs_flags(e)
     return parser
 
 
@@ -220,9 +247,27 @@ _COMMANDS = {
 }
 
 
+def _export_obs(args) -> None:
+    """Write the requested trace/metrics files from the global tracer."""
+    from .obs.export import write_chrome_trace, write_metrics_csv
+
+    snap = obs.snapshot()
+    if args.trace_out:
+        write_chrome_trace(snap, args.trace_out)
+        print(f"# wrote trace to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        write_metrics_csv(snap, args.metrics_out)
+        print(f"# wrote metrics to {args.metrics_out}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    tracing = bool(
+        getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)
+    )
+    if tracing:
+        obs.enable()
     try:
         return _COMMANDS[args.command](args)
     except (ReproError, OSError) as exc:
@@ -235,6 +280,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         except Exception:
             pass
         return 0
+    finally:
+        if tracing:
+            try:
+                _export_obs(args)
+            except OSError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+            finally:
+                obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

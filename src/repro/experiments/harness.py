@@ -17,6 +17,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..algorithms.base import make_scheduler
 from ..channels.models import RayleighChannel, StaticChannel
 from ..core.rng import SeedLike, as_generator
@@ -147,19 +148,23 @@ def evaluate_algorithm(
     scheduler = make_scheduler(name, **scheduler_kwargs)
     t0 = time.perf_counter()
     try:
-        result = scheduler.run(design, instance.source, instance.deadline)
+        with obs.span("experiment.schedule", algorithm=name):
+            result = scheduler.run(design, instance.source, instance.deadline)
     except InfeasibleError:
+        obs.counter("experiment.infeasible")
         return None
     wall = time.perf_counter() - t0
 
-    summary = run_trials(
-        exec_graph,
-        result.schedule,
-        instance.source,
-        num_trials=config.trials,
-        seed=sim_seed,
-        count_scheduled_energy=True,
-    )
+    with obs.span("experiment.simulate", algorithm=name):
+        summary = run_trials(
+            exec_graph,
+            result.schedule,
+            instance.source,
+            num_trials=config.trials,
+            seed=sim_seed,
+            count_scheduled_energy=True,
+        )
+    obs.counter("experiment.evaluations")
     return AlgorithmOutcome(
         name=name,
         normalized_energy=config.params.normalize_energy(

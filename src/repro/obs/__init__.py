@@ -1,0 +1,79 @@
+"""Observability: spans, counters, gauges, aggregation, and exporters.
+
+A zero-dependency instrumentation subsystem for the broadcast pipeline.
+The schedulers, Steiner solvers, allocation NLP, Monte-Carlo runner, and
+experiment harness are wired with :func:`span` / :func:`counter` /
+:func:`gauge` call sites; by default these hit a no-op tracer and cost
+~nothing.  Switch recording on, run any pipeline, and export::
+
+    from repro import obs
+    from repro.obs import write_chrome_trace, write_metrics_csv
+
+    obs.enable()
+    ...  # run schedulers / simulations / experiments
+    snap = obs.snapshot()
+    write_chrome_trace(snap, "trace.json")   # load in chrome://tracing
+    write_metrics_csv(snap, "metrics.csv")   # flat percentile summaries
+    obs.disable()
+
+The same data is reachable from the CLI via ``--trace-out`` /
+``--metrics-out`` on the ``schedule``, ``simulate``, and ``experiment``
+subcommands.  See :mod:`repro.obs.tracer` for the span API,
+:mod:`repro.obs.metrics` for aggregation, :mod:`repro.obs.export` for the
+Chrome ``trace_event`` and CSV formats.
+"""
+
+from .export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_metrics_csv,
+)
+from .metrics import Histogram, MetricsReport, MetricStat, aggregate, percentile
+from .tracer import (
+    NoopTracer,
+    Span,
+    Tracer,
+    TraceSnapshot,
+    counter,
+    disable,
+    enable,
+    gauge,
+    get_tracer,
+    is_enabled,
+    reset,
+    set_tracer,
+    snapshot,
+    span,
+    stage,
+)
+
+__all__ = [
+    # tracer
+    "Span",
+    "TraceSnapshot",
+    "Tracer",
+    "NoopTracer",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+    "is_enabled",
+    "snapshot",
+    "reset",
+    "span",
+    "counter",
+    "gauge",
+    "stage",
+    # metrics
+    "Histogram",
+    "MetricStat",
+    "MetricsReport",
+    "aggregate",
+    "percentile",
+    # export
+    "chrome_trace_events",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "write_metrics_csv",
+]

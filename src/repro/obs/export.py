@@ -1,0 +1,124 @@
+"""Serialization of trace snapshots: Chrome trace JSON and metrics CSV.
+
+* :func:`write_chrome_trace` emits the Chrome ``trace_event`` format
+  (`chrome://tracing` / Perfetto's legacy loader): one complete (``"X"``)
+  event per span with microsecond timestamps, plus counters and gauges in
+  the top-level ``otherData`` object.
+* :func:`write_metrics_csv` writes the flat :class:`~repro.obs.metrics.MetricStat`
+  rows — one line per span name (duration percentiles), counter, and gauge.
+
+Both accept a path or an open text file.  Standard library only.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Dict, List, TextIO, Union
+
+from .metrics import aggregate
+from .tracer import TraceSnapshot
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "write_metrics_csv",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+Target = Union[PathLike, TextIO]
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce a span attribute to something JSON-serializable."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return repr(value)
+
+
+def chrome_trace_events(snapshot: TraceSnapshot) -> List[Dict[str, Any]]:
+    """The snapshot's spans as Chrome ``trace_event`` complete events."""
+    events: List[Dict[str, Any]] = []
+    for s in snapshot.spans:
+        events.append(
+            {
+                "name": s.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": s.start * 1e6,            # microseconds
+                "dur": (s.duration or 0.0) * 1e6,
+                "pid": 0,
+                "tid": s.thread,
+                "args": {str(k): _json_safe(v) for k, v in s.attrs.items()},
+            }
+        )
+    return events
+
+
+def chrome_trace_document(snapshot: TraceSnapshot) -> Dict[str, Any]:
+    """The full JSON object ``chrome://tracing`` loads."""
+    return {
+        "traceEvents": chrome_trace_events(snapshot),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": dict(snapshot.counters),
+            "gauges": dict(snapshot.gauges),
+        },
+    }
+
+
+def _open_target(target: Target):
+    """(file, should_close) for a path or an already-open text file."""
+    if hasattr(target, "write"):
+        return target, False
+    return open(os.fspath(target), "w", encoding="utf-8", newline=""), True
+
+
+def write_chrome_trace(snapshot: TraceSnapshot, target: Target) -> None:
+    """Write the snapshot as a Chrome-loadable ``trace_event`` JSON file."""
+    f, close = _open_target(target)
+    try:
+        json.dump(chrome_trace_document(snapshot), f, indent=1)
+        f.write("\n")
+    finally:
+        if close:
+            f.close()
+
+
+_CSV_COLUMNS = (
+    "kind", "name", "count", "total", "mean",
+    "min", "p50", "p90", "p99", "max",
+)
+
+
+def write_metrics_csv(snapshot: TraceSnapshot, target: Target) -> None:
+    """Write aggregated metrics as flat CSV (one row per timer/counter/gauge).
+
+    Timer rows are in seconds; counter/gauge rows repeat their single value
+    across the statistic columns so the schema stays rectangular.
+    """
+    report = aggregate(snapshot)
+    f, close = _open_target(target)
+    try:
+        writer = csv.writer(f)
+        writer.writerow(_CSV_COLUMNS)
+        for r in report.rows():
+            writer.writerow(
+                [
+                    r.kind,
+                    r.name,
+                    r.count,
+                    f"{r.total:.9g}",
+                    f"{r.mean:.9g}",
+                    f"{r.minimum:.9g}",
+                    f"{r.p50:.9g}",
+                    f"{r.p90:.9g}",
+                    f"{r.p99:.9g}",
+                    f"{r.maximum:.9g}",
+                ]
+            )
+    finally:
+        if close:
+            f.close()

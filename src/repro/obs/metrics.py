@@ -1,0 +1,172 @@
+"""Aggregation of trace snapshots: timers, counters, gauges, percentiles.
+
+:func:`aggregate` folds a :class:`~repro.obs.tracer.TraceSnapshot` into a
+:class:`MetricsReport`: one :class:`Histogram` of durations per span name
+(the *timers*), plus the counters and gauges verbatim.  ``report.rows()``
+flattens everything into :class:`MetricStat` records — the schema the CSV
+exporter writes.
+
+Standard library only; percentiles use linear interpolation between order
+statistics (the same convention as ``numpy.percentile``'s default).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .tracer import TraceSnapshot
+
+__all__ = ["Histogram", "MetricStat", "MetricsReport", "aggregate", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) of ``values``, linear interpolation.
+
+    ``values`` need not be sorted; NaN for an empty sequence.
+    """
+    if not values:
+        return math.nan
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return float(ordered[lo])
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+class Histogram:
+    """An exact (all-values-retained) histogram with percentile queries.
+
+    At observability scale — thousands of spans per run — keeping the raw
+    values is cheaper and more accurate than bucketing.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Optional[Iterable[float]] = None):
+        self._values: List[float] = list(values) if values is not None else []
+
+    def record(self, value: float) -> None:
+        self._values.append(float(value))
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram holding both operands' values."""
+        return Histogram(self._values + other._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._values))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._values else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return float(min(self._values)) if self._values else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return float(max(self._values)) if self._values else math.nan
+
+    def percentile(self, q: float) -> float:
+        return percentile(self._values, q)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram(count={self.count}, total={self.total:.6g})"
+
+
+#: the CSV/row schema shared by every aggregated metric
+@dataclass(frozen=True)
+class MetricStat:
+    """One flat row of the aggregated report (timer, counter, or gauge).
+
+    For timers the value fields are in **seconds**; for counters ``total``
+    is the accumulated count; for gauges ``total`` is the last value.
+    """
+
+    kind: str  # "timer" | "counter" | "gauge"
+    name: str
+    count: int
+    total: float
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+
+
+@dataclass(frozen=True)
+class MetricsReport:
+    """Aggregated view of one snapshot: per-name timers + raw scalars."""
+
+    timers: Dict[str, Histogram]
+    counters: Dict[str, float]
+    gauges: Dict[str, float]
+
+    def rows(self) -> List[MetricStat]:
+        """Flat, deterministically ordered rows (timers, counters, gauges)."""
+        out: List[MetricStat] = []
+        for name in sorted(self.timers):
+            h = self.timers[name]
+            out.append(
+                MetricStat(
+                    kind="timer",
+                    name=name,
+                    count=h.count,
+                    total=h.total,
+                    mean=h.mean,
+                    minimum=h.minimum,
+                    maximum=h.maximum,
+                    p50=h.percentile(50),
+                    p90=h.percentile(90),
+                    p99=h.percentile(99),
+                )
+            )
+        for name in sorted(self.counters):
+            v = self.counters[name]
+            out.append(
+                MetricStat("counter", name, 1, v, v, v, v, v, v, v)
+            )
+        for name in sorted(self.gauges):
+            v = self.gauges[name]
+            out.append(
+                MetricStat("gauge", name, 1, v, v, v, v, v, v, v)
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsReport(timers={len(self.timers)}, "
+            f"counters={len(self.counters)}, gauges={len(self.gauges)})"
+        )
+
+
+def aggregate(snapshot: TraceSnapshot) -> MetricsReport:
+    """Fold a snapshot into per-span-name duration histograms + scalars."""
+    timers: Dict[str, Histogram] = {}
+    for s in snapshot.spans:
+        if s.duration is None:  # pragma: no cover - snapshots drop open spans
+            continue
+        timers.setdefault(s.name, Histogram()).record(s.duration)
+    return MetricsReport(
+        timers=timers,
+        counters=dict(snapshot.counters),
+        gauges=dict(snapshot.gauges),
+    )

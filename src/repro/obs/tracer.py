@@ -1,0 +1,353 @@
+"""Nested timing spans, monotonic counters, and gauges.
+
+The process-global tracer is swappable: by default it is a
+:class:`NoopTracer`, whose ``span()`` returns a shared do-nothing context
+manager and whose ``counter``/``gauge`` are empty method calls — the
+instrumented hot paths pay a few attribute lookups and nothing else.
+Calling :func:`enable` (or :func:`set_tracer` with a recording
+:class:`Tracer`) switches every instrumented call site in the process to
+recording mode; :func:`snapshot` then returns an immutable
+:class:`TraceSnapshot` that :mod:`repro.obs.metrics` aggregates and
+:mod:`repro.obs.export` serializes.
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("my.stage", size=42):
+        ...
+    obs.counter("my.events", 3)
+    snap = obs.snapshot()
+
+``span`` also works as a decorator (resolved at call time, so functions
+decorated before ``enable()`` still record afterwards)::
+
+    @obs.span("steiner.solve")
+    def solve(...): ...
+
+Zero dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, MutableMapping, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "TraceSnapshot",
+    "Tracer",
+    "NoopTracer",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+    "is_enabled",
+    "snapshot",
+    "reset",
+    "span",
+    "counter",
+    "gauge",
+    "stage",
+]
+
+
+@dataclass
+class Span:
+    """One timed region: ``[start, start + duration)`` seconds from the
+    tracer's epoch, with its nesting depth and parent span id."""
+
+    id: int
+    name: str
+    start: float
+    duration: Optional[float] = None  # None while the span is still open
+    depth: int = 0
+    parent: Optional[int] = None
+    thread: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.start + (self.duration or 0.0)
+
+
+@dataclass(frozen=True)
+class TraceSnapshot:
+    """An immutable copy of everything a tracer has recorded so far."""
+
+    spans: Tuple[Span, ...]
+    counters: Dict[str, float]
+    gauges: Dict[str, float]
+
+    def spans_named(self, name: str) -> Tuple[Span, ...]:
+        """All finished spans with the given name, in start order."""
+        return tuple(s for s in self.spans if s.name == name)
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every span with the given name."""
+        return sum(s.duration or 0.0 for s in self.spans_named(name))
+
+    @property
+    def span_names(self) -> Tuple[str, ...]:
+        """Distinct span names, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.name, None)
+        return tuple(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraceSnapshot(spans={len(self.spans)}, "
+            f"counters={len(self.counters)}, gauges={len(self.gauges)})"
+        )
+
+
+class _SpanContext:
+    """Context manager recording one span on a specific tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._begin(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._end(self._span)
+        return False
+
+
+class _NoopContext:
+    """The shared do-nothing span context (disabled-tracer fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_CONTEXT = _NoopContext()
+
+
+class Tracer:
+    """A recording tracer: thread-safe span stack, counters, gauges."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.reset()
+
+    # -- recording ------------------------------------------------------
+    def reset(self) -> None:
+        """Drop everything recorded so far and restart the clock."""
+        with self._lock:
+            self._spans: List[Span] = []
+            self._counters: Dict[str, float] = {}
+            self._gauges: Dict[str, float] = {}
+            self._next_id = 0
+            self._epoch = time.perf_counter()
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """A context manager timing one named region."""
+        return _SpanContext(self, name, attrs)
+
+    def counter(self, name: str, inc: float = 1.0) -> None:
+        """Add ``inc`` to the monotonic counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + inc
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of gauge ``name``."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def snapshot(self) -> TraceSnapshot:
+        """Copy of all *finished* spans, counters, and gauges."""
+        with self._lock:
+            spans = tuple(
+                replace(s, attrs=dict(s.attrs))
+                for s in self._spans
+                if s.duration is not None
+            )
+            return TraceSnapshot(
+                spans=spans,
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+            )
+
+    # -- internals ------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _begin(self, name: str, attrs: Dict[str, Any]) -> Span:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            sid = self._next_id
+            self._next_id += 1
+            s = Span(
+                id=sid,
+                name=name,
+                start=time.perf_counter() - self._epoch,
+                depth=len(stack),
+                parent=parent.id if parent is not None else None,
+                thread=threading.get_ident(),
+                attrs=dict(attrs),
+            )
+            self._spans.append(s)
+        stack.append(s)
+        return s
+
+    def _end(self, s: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is s:
+            stack.pop()
+        else:  # mis-nested exit; drop it from the stack wherever it sits
+            try:
+                stack.remove(s)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        s.duration = (time.perf_counter() - self._epoch) - s.start
+
+
+class NoopTracer:
+    """The default tracer: records nothing, costs ~nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NoopContext:
+        return _NOOP_CONTEXT
+
+    def counter(self, name: str, inc: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def snapshot(self) -> TraceSnapshot:
+        return TraceSnapshot(spans=(), counters={}, gauges={})
+
+    def reset(self) -> None:
+        pass
+
+
+_NOOP_TRACER = NoopTracer()
+_tracer = _NOOP_TRACER
+
+
+def get_tracer():
+    """The process-global tracer currently receiving instrumentation."""
+    return _tracer
+
+
+def set_tracer(tracer) -> object:
+    """Install ``tracer`` (None → the no-op tracer); returns the old one."""
+    global _tracer
+    old = _tracer
+    _tracer = tracer if tracer is not None else _NOOP_TRACER
+    return old
+
+
+def enable() -> Tracer:
+    """Switch tracing on; returns the (new or existing) recording tracer."""
+    global _tracer
+    if not _tracer.enabled:
+        _tracer = Tracer()
+    return _tracer
+
+
+def disable() -> None:
+    """Switch tracing off (back to the no-op tracer)."""
+    set_tracer(None)
+
+
+def is_enabled() -> bool:
+    return _tracer.enabled
+
+
+def snapshot() -> TraceSnapshot:
+    """Snapshot of the global tracer (empty when tracing is disabled)."""
+    return _tracer.snapshot()
+
+
+def reset() -> None:
+    """Clear the global tracer's recorded data (no-op when disabled)."""
+    _tracer.reset()
+
+
+class _GlobalSpan:
+    """Late-binding span: resolves the global tracer at enter/call time, so
+    one object serves as both a context manager and a decorator."""
+
+    __slots__ = ("_name", "_attrs", "_cm")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self):
+        self._cm = _tracer.span(self._name, **self._attrs)
+        return self._cm.__enter__()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return self._cm.__exit__(exc_type, exc, tb)
+
+    def __call__(self, fn: Callable) -> Callable:
+        name, attrs = self._name, self._attrs
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            with _tracer.span(name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def span(name: str, **attrs: Any) -> _GlobalSpan:
+    """Time a region on the global tracer (context manager or decorator)."""
+    return _GlobalSpan(name, attrs)
+
+
+def counter(name: str, inc: float = 1.0) -> None:
+    """Increment a counter on the global tracer."""
+    _tracer.counter(name, inc)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the global tracer."""
+    _tracer.gauge(name, value)
+
+
+@contextmanager
+def stage(sink: MutableMapping[str, float], key: str,
+          span_name: Optional[str] = None, **attrs: Any):
+    """Time a pipeline stage into ``sink[key]`` *and* emit a span.
+
+    The wall time lands in ``sink`` regardless of whether tracing is
+    enabled — the schedulers use this to populate the standardized
+    ``stage_seconds`` entry of :class:`~repro.algorithms.base.SchedulerResult`
+    ``info`` — while the span itself is recorded only by an enabled tracer.
+    """
+    t0 = time.perf_counter()
+    try:
+        with _tracer.span(span_name or key, **attrs):
+            yield
+    finally:
+        sink[key] = sink.get(key, 0.0) + (time.perf_counter() - t0)

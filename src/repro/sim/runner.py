@@ -13,6 +13,7 @@ from typing import Hashable, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.rng import SeedLike, as_generator, spawn
 from ..schedule.schedule import Schedule
 from ..tveg.graph import TVEG
@@ -64,13 +65,18 @@ def run_trials(
     energies = np.empty(num_trials)
     txs = np.empty(num_trials)
     n = tveg.num_nodes
-    for i, child in enumerate(children):
-        out = simulate_schedule(
-            tveg, schedule, source, child, count_scheduled_energy, interference
-        )
-        deliveries[i] = out.delivery_ratio(n)
-        energies[i] = out.energy
-        txs[i] = out.transmissions
+    with obs.span(
+        "sim.run_trials", trials=num_trials, transmissions=len(schedule)
+    ):
+        for i, child in enumerate(children):
+            out = simulate_schedule(
+                tveg, schedule, source, child, count_scheduled_energy,
+                interference,
+            )
+            deliveries[i] = out.delivery_ratio(n)
+            energies[i] = out.energy
+            txs[i] = out.transmissions
+    obs.counter("sim.trials", num_trials)
     return SimulationSummary(
         num_trials=num_trials,
         num_nodes=n,

@@ -22,6 +22,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from .. import obs
 from ..errors import InfeasibleError, SolverError
 
 __all__ = ["greedy_incremental_dst", "charikar_dst"]
@@ -34,6 +35,7 @@ def greedy_incremental_dst(
     graph: nx.DiGraph,
     root: AuxNode,
     terminals: Sequence[AuxNode],
+    stats: Optional[Dict[str, int]] = None,
 ) -> Set[Edge]:
     """Grow a Steiner tree by repeatedly grafting the cheapest path.
 
@@ -43,6 +45,10 @@ def greedy_incremental_dst(
     growth only ever lowers distances, so stale heap entries are skipped by
     the usual lazy-deletion check and the total work stays near a single
     Dijkstra pass instead of one per terminal.
+
+    ``stats``, when given, receives ``expansions`` (settled heap pops) and
+    ``grafts`` (paths attached to the tree) — the same numbers the obs
+    counters ``steiner.expansions`` / ``steiner.grafts`` record.
     """
     import heapq
 
@@ -65,6 +71,8 @@ def greedy_incremental_dst(
     tree_edges: Set[Edge] = set()
 
     heap: List[Tuple[float, int]] = []
+    expansions = 0
+    grafts = 0
 
     def enter_tree(i: int, parent: int) -> None:
         if in_tree[i]:
@@ -85,6 +93,7 @@ def greedy_incremental_dst(
             d, u = heapq.heappop(heap)
             if d > dist[u]:
                 continue  # stale entry
+            expansions += 1
             if u in uncovered:
                 target = u
                 break
@@ -108,6 +117,12 @@ def greedy_incremental_dst(
             v = pred[v]
         for i in reversed(chain):
             enter_tree(i, pred[i])
+        grafts += 1
+    if stats is not None:
+        stats["expansions"] = stats.get("expansions", 0) + expansions
+        stats["grafts"] = stats.get("grafts", 0) + grafts
+    obs.counter("steiner.expansions", expansions)
+    obs.counter("steiner.grafts", grafts)
     return tree_edges
 
 
@@ -121,6 +136,8 @@ class _CharikarSolver:
         self._g = graph
         self._sp_cache: Dict[AuxNode, Tuple[Dict, Dict]] = {}
         self._max_candidates = max_candidates
+        #: recursive subproblem invocations — the solver's expansion count
+        self.subproblems = 0
 
     def _sp(self, v: AuxNode) -> Tuple[Dict, Dict]:
         if v not in self._sp_cache:
@@ -143,6 +160,7 @@ class _CharikarSolver:
         self, level: int, k: int, root: AuxNode, terminals: Set[AuxNode]
     ) -> Set[Edge]:
         """``A_i(k, root, X)`` — a tree covering ≥ k of ``terminals``."""
+        self.subproblems += 1
         if k <= 0:
             return set()
         if level <= 1:
@@ -237,6 +255,7 @@ def charikar_dst(
     terminals: Sequence[AuxNode],
     level: int = 2,
     max_candidates: Optional[int] = None,
+    stats: Optional[Dict[str, int]] = None,
 ) -> Set[Edge]:
     """Charikar et al.'s level-``i`` directed Steiner tree approximation.
 
@@ -250,4 +269,9 @@ def charikar_dst(
     if not targets:
         return set()
     solver = _CharikarSolver(graph, max_candidates)
-    return solver.solve(level, len(targets), root, targets)
+    try:
+        return solver.solve(level, len(targets), root, targets)
+    finally:
+        if stats is not None:
+            stats["expansions"] = stats.get("expansions", 0) + solver.subproblems
+        obs.counter("steiner.expansions", solver.subproblems)

@@ -16,10 +16,11 @@ root→terminal path.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from .. import obs
 from ..errors import SolverError
 from .dst import charikar_dst, greedy_incremental_dst
 from .prune import prune_tree
@@ -40,16 +41,33 @@ def solve_memt(
     method: str = "greedy",
     level: int = 2,
     max_candidates: Optional[int] = None,
+    stats: Optional[Dict[str, int]] = None,
 ) -> Set[Edge]:
-    """Solve the MEMT instance and return the pruned Steiner edge set."""
-    if method == "greedy":
-        edges = greedy_incremental_dst(graph, root, terminals)
-    elif method == "sptree":
-        edges = shortest_path_tree(graph, root, terminals)
-    elif method == "charikar":
-        edges = charikar_dst(graph, root, terminals, level, max_candidates)
-    else:
-        raise SolverError(
-            f"unknown MEMT method {method!r}; choose from {MEMT_METHODS}"
-        )
-    return prune_tree(edges, root, terminals)
+    """Solve the MEMT instance and return the pruned Steiner edge set.
+
+    ``stats``, when given, receives the solver's work counters (at least
+    ``expansions``; the greedy solver adds ``grafts``) — the numbers the
+    schedulers surface as ``steiner_expansions`` in their result ``info``.
+    """
+    with obs.span(
+        "steiner.solve_memt",
+        method=method,
+        graph_nodes=graph.number_of_nodes(),
+        graph_edges=graph.number_of_edges(),
+        terminals=len(terminals),
+    ):
+        if method == "greedy":
+            edges = greedy_incremental_dst(graph, root, terminals, stats=stats)
+        elif method == "sptree":
+            edges = shortest_path_tree(graph, root, terminals)
+            if stats is not None:
+                stats.setdefault("expansions", 0)
+        elif method == "charikar":
+            edges = charikar_dst(
+                graph, root, terminals, level, max_candidates, stats=stats
+            )
+        else:
+            raise SolverError(
+                f"unknown MEMT method {method!r}; choose from {MEMT_METHODS}"
+            )
+        return prune_tree(edges, root, terminals)

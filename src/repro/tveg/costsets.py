@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence, Tuple
 
+from .. import obs
 from ..errors import ScheduleError
 from .graph import TVEG
 
@@ -106,4 +107,6 @@ def discrete_cost_set(tveg: TVEG, node: Node, t: float) -> DiscreteCostSet:
     entries = tuple(
         (c, v) for v, c in tveg.neighbor_costs(node, t) if math.isfinite(c)
     )
+    obs.counter("tveg.dcs_built")
+    obs.counter("tveg.dcs_levels", len(entries))
     return DiscreteCostSet(node=node, time=t, entries=entries)
