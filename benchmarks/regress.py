@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Benchmark regression gate — thin wrapper over ``repro bench``.
+
+Run from the repo root (the src/ layout needs the path hint)::
+
+    PYTHONPATH=src python benchmarks/regress.py [--quick] [--tolerance X]
+
+Times the tier-1 pipeline operations, writes ``BENCH_<date>.json``, and
+exits nonzero when any tier-1 op's p50 wall time or deterministic work
+counter regresses past the tolerance versus :file:`benchmarks/baseline.json`
+(refresh it with ``--write-baseline`` after intentional changes).  See
+:mod:`repro.obs.bench` for the suite's contents.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

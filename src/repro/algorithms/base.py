@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Optional
 
+from .. import obs
 from ..errors import SolverError
 from ..schedule.schedule import Schedule
 from ..tveg.graph import TVEG
@@ -23,6 +24,7 @@ __all__ = [
     "register",
     "canonical_scheduler_name",
     "make_scheduler",
+    "record_schedule",
     "SCHEDULERS",
 ]
 
@@ -100,6 +102,23 @@ class Scheduler(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
+
+
+def record_schedule(schedule: Schedule, algorithm: str) -> None:
+    """Emit a scheduler's final rows as ledger events (no-op when off).
+
+    Every scheduler calls this on its result so a recorded run carries one
+    :data:`~repro.obs.EV_TRANSMISSION_SCHEDULED` event per (relay, time,
+    power) row, tagged with the algorithm that produced it.
+    """
+    led = obs.get_ledger()
+    if not led.enabled:
+        return
+    for s in schedule:
+        led.emit(
+            obs.EV_TRANSMISSION_SCHEDULED, t=s.time, relay=s.relay,
+            cost=s.cost, algorithm=algorithm,
+        )
 
 
 SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {}

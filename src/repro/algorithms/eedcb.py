@@ -29,7 +29,7 @@ from ..schedule.reduce import lower_costs, remove_redundant, upgrade_and_prune
 from ..steiner.memt import solve_memt
 from ..steiner.sptree import tree_cost
 from ..tveg.graph import TVEG
-from .base import Scheduler, SchedulerResult, register
+from .base import Scheduler, SchedulerResult, record_schedule, register
 
 __all__ = ["EEDCB"]
 
@@ -119,6 +119,7 @@ class EEDCB(Scheduler):
                         tveg, schedule, source, deadline, **kw
                     )
                     schedule = lower_costs(tveg, schedule, source, deadline, **kw)
+        record_schedule(schedule, "eedcb")
         return SchedulerResult(
             schedule=schedule,
             info={

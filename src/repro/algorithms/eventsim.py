@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Hashable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..errors import SolverError
 from ..schedule.schedule import Schedule, Transmission
 from ..tveg.costsets import discrete_cost_set
@@ -77,12 +78,14 @@ def run_event_scheduler(
     select: Selector,
     power_policy: str = "cover",
     start_time: float = 0.0,
+    algorithm: Optional[str] = None,
 ) -> Tuple[Schedule, Set[Node]]:
     """Run the event-driven baseline; returns (schedule, informed set).
 
     The schedule may be partial when the instance is infeasible within the
     deadline — callers decide whether that is an error (the experiment
-    harness measures the resulting delivery ratio instead).
+    harness measures the resulting delivery ratio instead).  ``algorithm``
+    tags each selection's ledger event with the caller's name.
     """
     if power_policy not in POWER_POLICIES:
         raise SolverError(
@@ -91,6 +94,8 @@ def run_event_scheduler(
     informed: Set[Node] = {source}
     rows: List[Transmission] = []
     n = tveg.num_nodes
+    led = obs.get_ledger()
+    recording = led.enabled
 
     for t in event_times(tveg, start_time, deadline):
         while len(informed) < n:
@@ -100,6 +105,13 @@ def run_event_scheduler(
             relay, w, newly = select(cands)
             rows.append(Transmission(relay, t, w))
             informed.update(newly)
+            if recording:
+                led.emit(
+                    obs.EV_RELAY_SELECTED, t=t, relay=relay, cost=w,
+                    newly_informed=len(newly), candidates=len(cands),
+                    algorithm=algorithm,
+                )
         if len(informed) == n:
             break
+    obs.counter("eventsim.selections", len(rows))
     return Schedule(rows), informed

@@ -21,8 +21,9 @@ from .. import obs
 from ..allocation.nlp import solve_allocation
 from ..allocation.problem import build_allocation_problem
 from ..errors import SolverError
+from ..schedule.feasibility import check_feasibility
 from ..tveg.graph import TVEG
-from .base import Scheduler, SchedulerResult, register
+from .base import Scheduler, SchedulerResult, record_schedule, register
 from .eedcb import EEDCB
 
 __all__ = ["FREEDCB"]
@@ -66,15 +67,30 @@ class FREEDCB(Scheduler):
         info = dict(backbone_result.info)
         stage_seconds: Dict[str, float] = dict(info.get("stage_seconds", {}))
         with obs.stage(stage_seconds, "allocation", "fr_eedcb.allocation"):
+            # The ε-exact backbone is a valid allocation whenever it is
+            # itself feasible — in that case the margin-tightened NLP must
+            # never return anything more expensive.  (Rare extraction
+            # corners can yield an infeasible backbone; the NLP then has to
+            # spend more than w0 to repair it, so no fallback applies.)
+            backbone_ok = check_feasibility(
+                tveg, backbone, source, deadline,
+                start_time=start_time, targets=self._targets,
+            ).feasible
             problem = build_allocation_problem(
                 tveg, backbone, source, targets=self._targets
             )
-            alloc = solve_allocation(problem, use_slsqp=self._use_slsqp)
+            alloc = solve_allocation(
+                problem,
+                use_slsqp=self._use_slsqp,
+                fallback=backbone.cost_array() if backbone_ok else None,
+            )
         schedule = backbone.with_costs(alloc.costs)
+        record_schedule(schedule, "fr-eedcb")
         info.update(
             {
                 "allocation_method": alloc.method,
                 "slsqp_converged": alloc.slsqp_converged,
+                "backbone_feasible": backbone_ok,
                 "backbone_cost": backbone.total_cost,
                 "allocated_cost": alloc.total,
                 "num_constraints": len(problem.constraints),

@@ -15,8 +15,9 @@ from .. import obs
 from ..allocation.nlp import solve_allocation
 from ..allocation.problem import build_allocation_problem
 from ..errors import SolverError
+from ..schedule.feasibility import check_feasibility
 from ..tveg.graph import TVEG
-from .base import Scheduler, SchedulerResult, register
+from .base import Scheduler, SchedulerResult, record_schedule, register
 from .eventsim import Candidate, run_event_scheduler
 
 __all__ = ["Greed", "FRGreed"]
@@ -48,8 +49,9 @@ class Greed(Scheduler):
             with obs.stage(stage_seconds, "event_sim", "greed.event_sim"):
                 schedule, informed = run_event_scheduler(
                     tveg, source, deadline, _greedy_select, self._policy,
-                    start_time,
+                    start_time, algorithm="greed",
                 )
+        record_schedule(schedule, "greed")
         return SchedulerResult(
             schedule=schedule,
             info={
@@ -89,8 +91,15 @@ class FRGreed(Scheduler):
             return SchedulerResult(schedule=base.schedule, info=info)
         stage_seconds: Dict[str, float] = dict(info.get("stage_seconds", {}))
         with obs.stage(stage_seconds, "allocation", "fr_greed.allocation"):
+            backbone_ok = check_feasibility(
+                tveg, base.schedule, source, deadline, start_time=start_time
+            ).feasible
             problem = build_allocation_problem(tveg, base.schedule, source)
-            alloc = solve_allocation(problem, use_slsqp=self._use_slsqp)
+            alloc = solve_allocation(
+                problem,
+                use_slsqp=self._use_slsqp,
+                fallback=base.schedule.cost_array() if backbone_ok else None,
+            )
         info.update(
             {
                 "allocation_method": alloc.method,
@@ -100,6 +109,6 @@ class FRGreed(Scheduler):
                 "stage_seconds": stage_seconds,
             }
         )
-        return SchedulerResult(
-            schedule=base.schedule.with_costs(alloc.costs), info=info
-        )
+        schedule = base.schedule.with_costs(alloc.costs)
+        record_schedule(schedule, "fr-greed")
+        return SchedulerResult(schedule=schedule, info=info)

@@ -20,12 +20,13 @@ import heapq
 import math
 from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
+from .. import obs
 from ..dts.dts import build_dts
 from ..errors import InfeasibleError, SolverError
 from ..schedule.schedule import Schedule, Transmission
 from ..tveg.costsets import discrete_cost_set
 from ..tveg.graph import TVEG
-from .base import Scheduler, SchedulerResult, register
+from .base import Scheduler, SchedulerResult, record_schedule, register
 
 __all__ = ["OracleExact"]
 
@@ -57,6 +58,39 @@ class OracleExact(Scheduler):
         if start_time != 0.0:
             raise SolverError("oracle assumes the broadcast starts at t = 0")
 
+        stage_seconds: Dict[str, float] = {}
+        with obs.span("scheduler.run", algorithm="oracle"), obs.stage(
+            stage_seconds, "search", "oracle.search"
+        ):
+            goal, dist, prev, dts = self._search(tveg, source, deadline)
+        obs.counter("oracle.states_expanded", len(dist))
+
+        if goal is None:
+            raise InfeasibleError(
+                f"no schedule informs all nodes from {source!r} by {deadline:g}"
+            )
+
+        rows: List[Transmission] = []
+        state = goal
+        while state in prev:
+            state, tx = prev[state]
+            if tx is not None:
+                rows.append(tx)
+        rows.reverse()
+        schedule = Schedule(rows)
+        record_schedule(schedule, "oracle")
+        return SchedulerResult(
+            schedule=schedule,
+            info={
+                "optimal_cost": dist[goal],
+                "states_expanded": len(dist),
+                "dts_points": dts.total_points(),
+                "stage_seconds": stage_seconds,
+            },
+        )
+
+    def _search(self, tveg: TVEG, source: Node, deadline: float):
+        """Dijkstra over (time index, informed set); returns search state."""
         # Global candidate transmission times: union of all DTS points.
         dts = build_dts(tveg.tvg, deadline)
         times = sorted({t for n in tveg.nodes for t in dts.points(n)})
@@ -102,19 +136,4 @@ class OracleExact(Scheduler):
                         heapq.heappush(heap, (new_cost, counter, nxt))
                         counter += 1
 
-        if goal is None:
-            raise InfeasibleError(
-                f"no schedule informs all nodes from {source!r} by {deadline:g}"
-            )
-
-        rows: List[Transmission] = []
-        state = goal
-        while state in prev:
-            state, tx = prev[state]
-            if tx is not None:
-                rows.append(tx)
-        rows.reverse()
-        return SchedulerResult(
-            schedule=Schedule(rows),
-            info={"optimal_cost": dist[goal], "states_expanded": len(dist)},
-        )
+        return goal, dist, prev, dts

@@ -80,8 +80,18 @@ def solve_allocation(
     problem: AllocationProblem,
     use_slsqp: bool = True,
     max_iter: int = 200,
+    fallback: Optional[np.ndarray] = None,
 ) -> AllocationResult:
-    """Solve the NLP; always returns a feasible allocation (see module doc)."""
+    """Solve the NLP; always returns a feasible allocation (see module doc).
+
+    ``fallback`` is an optional cost vector the *caller* already knows to be
+    feasible for the original ``ε`` (typically the backbone's ``w0`` costs).
+    The solver's candidates target the margin-tightened ``ε·(1 − margin)``,
+    which on small instances can cost slightly more than the ε-exact
+    backbone; when every candidate is more expensive than ``fallback``, the
+    fallback is returned (method ``"backbone"``) so the allocation never
+    does worse than the schedule it started from.
+    """
     with obs.span(
         "allocation.solve",
         num_vars=problem.num_vars,
@@ -132,6 +142,8 @@ def solve_allocation(
                     candidates.append(("slsqp", np.array(res.x, dtype=float)))
 
         method, best = min(candidates, key=lambda mw: float(np.sum(mw[1])))
+        if fallback is not None and float(np.sum(fallback)) < float(np.sum(best)):
+            method, best = "backbone", np.array(fallback, dtype=float)
         obs.counter("allocation.solves")
         obs.counter("allocation.slsqp_iterations", nit_total)
         return AllocationResult(

@@ -19,6 +19,7 @@ Example::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional, Tuple, Union
 
@@ -62,6 +63,8 @@ class BroadcastPlan:
     channel: str
     info: Dict[str, object] = field(default_factory=dict)
     obs: Optional[TraceSnapshot] = None
+    #: reproducibility manifest (config hash, seed, git SHA, platform, ...)
+    manifest: Dict[str, object] = field(default_factory=dict)
 
     @property
     def feasible(self) -> bool:
@@ -187,10 +190,25 @@ def plan_broadcast(
         scheduler_kwargs["seed"] = seed
     scheduler = make_scheduler(algo, **scheduler_kwargs)
 
+    t0 = time.perf_counter()
     with obs.span("api.plan_broadcast", algorithm=algo):
         result = scheduler.run(tveg, source, deadline)
-        report = check_feasibility(tveg, result.schedule, source, deadline)
+        report = check_feasibility(
+            tveg, result.schedule, source, deadline, record="final"
+        )
 
+    manifest = obs.run_manifest(
+        config={
+            "algorithm": algo,
+            "channel": channel_label,
+            "source": source,
+            "deadline": deadline,
+            "window": window,
+            "scheduler_kwargs": scheduler_kwargs,
+        },
+        seed=seed,
+        wall_seconds=time.perf_counter() - t0,
+    )
     return BroadcastPlan(
         schedule=result.schedule,
         feasibility=report,
@@ -201,4 +219,5 @@ def plan_broadcast(
         channel=channel_label,
         info=dict(result.info),
         obs=obs.snapshot() if obs.is_enabled() else None,
+        manifest=manifest,
     )

@@ -7,13 +7,23 @@ writing Python:
 * ``stats``      — summarize a trace (CRAWDAD or CSV);
 * ``schedule``   — run a scheduler on a trace window and print the schedule;
 * ``simulate``   — Monte-Carlo a schedule produced by a scheduler;
-* ``experiment`` — regenerate one of the paper's figures (4–7).
+* ``experiment`` — regenerate one of the paper's figures (4–7);
+* ``bench``      — micro-benchmarks with a committed-baseline regression gate;
+* ``report``     — render a recorded run ledger as a self-contained HTML page.
+
+Observability flags shared by the pipeline subcommands: ``--trace-out`` /
+``--metrics-out`` (tracer exports), ``--ledger-out`` (typed domain events
+as NDJSON, manifest embedded), ``--manifest-out`` (standalone
+reproducibility manifest), and ``-v`` / ``--log-level`` (stream ledger
+events through stdlib logging as they happen; default silent).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+import time
 from typing import List, Optional
 
 from . import obs
@@ -61,6 +71,31 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", default=None, metavar="FILE",
         help="write aggregated timer/counter metrics as CSV",
     )
+    parser.add_argument(
+        "--ledger-out", default=None, metavar="FILE",
+        help="record typed domain events to this NDJSON file "
+        "(render with `repro report`)",
+    )
+    parser.add_argument(
+        "--manifest-out", default=None, metavar="FILE",
+        help="write a reproducibility manifest (config hash, seed, git SHA, "
+        "platform) as JSON",
+    )
+
+
+def _logging_parent() -> argparse.ArgumentParser:
+    """Shared ``-v`` / ``--log-level`` flags, usable after any subcommand."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="stream ledger events to stderr as they happen",
+    )
+    p.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=("debug", "info", "warning", "error"),
+        help="stdlib logging level for streamed events (implies -v)",
+    )
+    return p
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,17 +105,21 @@ def build_parser() -> argparse.ArgumentParser:
         "time-varying energy-demand graphs (ICPP 2015 reproduction).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _logging_parent()
 
-    g = sub.add_parser("generate", help="synthesize a Haggle-like contact trace")
+    g = sub.add_parser("generate", parents=[common],
+                       help="synthesize a Haggle-like contact trace")
     g.add_argument("output", help="output path (.csv → CSV, else CRAWDAD)")
     g.add_argument("--nodes", type=int, default=20)
     g.add_argument("--horizon", type=float, default=17000.0)
     g.add_argument("--seed", type=int, default=0)
 
-    s = sub.add_parser("stats", help="summarize a contact trace")
+    s = sub.add_parser("stats", parents=[common],
+                       help="summarize a contact trace")
     s.add_argument("trace", help="trace file (CRAWDAD or CSV)")
 
-    c = sub.add_parser("schedule", help="schedule one broadcast on a trace window")
+    c = sub.add_parser("schedule", parents=[common],
+                       help="schedule one broadcast on a trace window")
     c.add_argument("trace", help="trace file (CRAWDAD or CSV)")
     c.add_argument("--algorithm", type=_algorithm_arg, default="eedcb",
                    metavar="ALGO",
@@ -97,7 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the schedule to this CSV file")
     _add_obs_flags(c)
 
-    m = sub.add_parser("simulate", help="schedule + Monte-Carlo delivery estimate")
+    m = sub.add_parser("simulate", parents=[common],
+                       help="schedule + Monte-Carlo delivery estimate")
     for src_parser in (m,):
         src_parser.add_argument("trace")
         src_parser.add_argument("--algorithm", type=_algorithm_arg,
@@ -112,15 +152,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulate this saved schedule instead of rescheduling")
     _add_obs_flags(m)
 
-    e = sub.add_parser("experiment", help="regenerate a paper figure")
+    e = sub.add_parser("experiment", parents=[common],
+                       help="regenerate a paper figure")
     e.add_argument("figure", choices=("fig4", "fig5", "fig6", "fig7"))
     e.add_argument("--repetitions", type=int, default=3)
     e.add_argument("--trials", type=int, default=100)
     e.add_argument("--nodes", type=int, default=20)
     e.add_argument("--seed", type=int, default=2015)
     e.add_argument("--csv-dir", default=None,
-                   help="also write each panel as CSV into this directory")
+                   help="also write each panel as CSV into this directory "
+                   "(plus a manifest.json)")
     _add_obs_flags(e)
+
+    b = sub.add_parser(
+        "bench", parents=[common],
+        help="run the micro-benchmark suite and gate against a baseline",
+    )
+    b.add_argument("--quick", action="store_true",
+                   help="smaller instance and fewer repeats (CI smoke mode)")
+    b.add_argument("--repeats", type=int, default=None,
+                   help="override the per-op repeat count")
+    b.add_argument("--nodes", type=int, default=None,
+                   help="override the benchmark instance size")
+    b.add_argument("--out", default=None, metavar="FILE",
+                   help="output path (default: ./BENCH_<date>.json)")
+    b.add_argument("--baseline", default="benchmarks/baseline.json",
+                   metavar="FILE",
+                   help="baseline to gate against (skipped when missing)")
+    b.add_argument("--tolerance", type=float, default=0.25,
+                   help="fractional p50/counter regression tolerance "
+                   "(default 0.25)")
+    b.add_argument("--write-baseline", action="store_true",
+                   help="write the result as the new baseline instead of "
+                   "gating")
+
+    r = sub.add_parser(
+        "report", parents=[common],
+        help="render a recorded NDJSON run ledger as self-contained HTML",
+    )
+    r.add_argument("ledger", help="NDJSON file from --ledger-out")
+    r.add_argument("-o", "--output", default="report.html",
+                   help="output HTML path (default: report.html)")
     return parser
 
 
@@ -171,6 +243,7 @@ def _cmd_schedule(args) -> int:
     from .schedule.io import write_schedule_csv
 
     tveg, source, scheduler = _prepare(args)
+    t0 = time.perf_counter()
     result = scheduler.run(tveg, source, args.delay)
     schedule = result.schedule
     if args.save:
@@ -178,7 +251,19 @@ def _cmd_schedule(args) -> int:
     print(f"# algorithm={args.algorithm} source={source} delay={args.delay:g}")
     print(f"# total normalized energy: "
           f"{PAPER_PARAMS.normalize_energy(schedule.total_cost):.3f}")
-    report = check_feasibility(tveg, schedule, source, args.delay)
+    report = check_feasibility(
+        tveg, schedule, source, args.delay, record="final"
+    )
+    obs.emit(
+        obs.EV_RUN_SUMMARY,
+        algorithm=args.algorithm,
+        num_nodes=tveg.num_nodes,
+        transmissions=len(schedule),
+        total_cost=schedule.total_cost,
+        feasible=report.feasible,
+        stage_seconds=result.info.get("stage_seconds", {}),
+        wall_seconds=time.perf_counter() - t0,
+    )
     print(f"# feasible: {report.feasible}")
     print("# relay time cost")
     for s in schedule:
@@ -200,6 +285,16 @@ def _cmd_simulate(args) -> int:
     )
     lo, hi = summary.delivery_ci95()
     label = f"file:{args.schedule_file}" if args.schedule_file else args.algorithm
+    obs.emit(
+        obs.EV_RUN_SUMMARY,
+        algorithm=label,
+        num_nodes=tveg.num_nodes,
+        transmissions=len(schedule),
+        total_cost=schedule.total_cost,
+        mean_delivery=summary.mean_delivery,
+        mean_energy=summary.mean_energy,
+        trials=summary.num_trials,
+    )
     print(f"algorithm:  {label}")
     print(f"energy:     {PAPER_PARAMS.normalize_energy(schedule.total_cost):.3f} (normalized)")
     print(f"delivery:   {summary.mean_delivery:.4f}  (95% CI [{lo:.4f}, {hi:.4f}])")
@@ -235,6 +330,65 @@ def _cmd_experiment(args) -> int:
             path = out / f"{args.figure}_panel{chr(ord('a') + i)}.csv"
             write_sweep_csv(panel, path)
             print(f"# wrote {path}")
+    if args.csv_dir:
+        manifest_path = Path(args.csv_dir) / "manifest.json"
+        obs.write_manifest(_args_manifest(args), manifest_path)
+        print(f"# wrote {manifest_path}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import os
+
+    from .obs import bench
+
+    # The suite times the shipped default (instrumentation off); suspend
+    # any ledger the -v flag switched on for the duration of the run.
+    old_ledger = obs.set_ledger(None)
+    try:
+        doc = bench.run_bench(quick=args.quick, repeats=args.repeats,
+                              num_nodes=args.nodes)
+    finally:
+        obs.set_ledger(old_ledger)
+    frac = doc["overhead"]["estimated_fraction_of_eedcb"]
+    print(f"# disabled-instrumentation overhead: {frac:.2e} of an EEDCB run "
+          f"({doc['overhead']['noop_call_ns']:.0f} ns/site)")
+    for op, r in doc["results"].items():
+        tier = "tier1" if r["tier1"] else "     "
+        print(f"{op:20s} {tier}  p50={r['p50_ms']:10.2f} ms  "
+              f"p95={r['p95_ms']:10.2f} ms")
+
+    if args.write_baseline:
+        bench.write_bench(doc, args.baseline)
+        print(f"# wrote baseline to {args.baseline}")
+        return 0
+
+    out = args.out or bench.bench_filename()
+    bench.write_bench(doc, out)
+    print(f"# wrote {out}")
+
+    if not os.path.exists(args.baseline):
+        print(f"# no baseline at {args.baseline}; gate skipped "
+              "(create one with --write-baseline)", file=sys.stderr)
+        return 0
+    problems = bench.compare(doc, bench.read_bench(args.baseline),
+                             tolerance=args.tolerance)
+    if problems:
+        for p in problems:
+            print(f"REGRESSION: {p}", file=sys.stderr)
+        return 3
+    print("# regression gate passed")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs.report import write_report
+
+    try:
+        n = write_report(args.ledger, args.output)
+    except ValueError as exc:
+        raise ReproError(f"{args.ledger} is not a ledger NDJSON file ({exc})")
+    print(f"# rendered {n} events from {args.ledger} to {args.output}")
     return 0
 
 
@@ -244,7 +398,25 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
+    "bench": _cmd_bench,
+    "report": _cmd_report,
 }
+
+#: args entries that are outputs/plumbing, not part of the run's identity
+_NON_CONFIG_ARGS = frozenset(
+    ("trace_out", "metrics_out", "ledger_out", "manifest_out", "save",
+     "csv_dir", "verbose", "log_level", "out", "output", "baseline",
+     "write_baseline")
+)
+
+
+def _args_manifest(args):
+    """A reproducibility manifest for one CLI invocation."""
+    config = {
+        k: v for k, v in vars(args).items()
+        if k not in _NON_CONFIG_ARGS and v is not None
+    }
+    return obs.run_manifest(config=config, seed=getattr(args, "seed", None))
 
 
 def _export_obs(args) -> None:
@@ -266,8 +438,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     tracing = bool(
         getattr(args, "trace_out", None) or getattr(args, "metrics_out", None)
     )
+    ledger_out = getattr(args, "ledger_out", None)
+    log_level = getattr(args, "log_level", None)
+    streaming = bool(getattr(args, "verbose", False) or log_level)
+    recording = bool(ledger_out or streaming)
     if tracing:
         obs.enable()
+    if recording:
+        logger = None
+        if streaming:
+            level = getattr(logging, (log_level or "info").upper())
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter("%(message)s"))
+            logger = logging.getLogger("repro.ledger")
+            logger.setLevel(level)
+            logger.addHandler(handler)
+            logger.propagate = False
+        obs.enable_ledger(logger=logger)
+        # First record: the run's manifest, so the NDJSON file (and the -v
+        # stream) is self-describing.
+        obs.emit(obs.EV_MANIFEST, **_args_manifest(args))
     try:
         return _COMMANDS[args.command](args)
     except (ReproError, OSError) as exc:
@@ -288,6 +478,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
             finally:
                 obs.disable()
+        if recording:
+            try:
+                if ledger_out:
+                    n = obs.write_ledger_ndjson(ledger_out)
+                    print(f"# wrote {n} events to {ledger_out}",
+                          file=sys.stderr)
+            except OSError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+            finally:
+                obs.disable_ledger()
+        # Written even when the run failed: the manifest records what was
+        # *attempted*, which is exactly what a failure post-mortem needs.
+        if getattr(args, "manifest_out", None):
+            try:
+                obs.write_manifest(_args_manifest(args), args.manifest_out)
+                print(f"# wrote manifest to {args.manifest_out}",
+                      file=sys.stderr)
+            except OSError as exc:
+                print(f"error: {exc}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

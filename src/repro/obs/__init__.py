@@ -23,11 +23,49 @@ subcommands.  See :mod:`repro.obs.tracer` for the span API,
 Chrome ``trace_event`` and CSV formats.
 """
 
+from .events import (
+    EV_CONSTRAINT_VIOLATED,
+    EV_ENERGY_DEBITED,
+    EV_FEASIBILITY_CHECKED,
+    EV_MANIFEST,
+    EV_NODE_INFORMED,
+    EV_ONLINE_ATTEMPT,
+    EV_RELAY_SELECTED,
+    EV_RUN_SUMMARY,
+    EV_SIM_RECEPTION,
+    EV_TRANSMISSION_SCHEDULED,
+    EVENT_TYPES,
+    Event,
+    event_from_json,
+    event_to_json,
+)
 from .export import (
     chrome_trace_document,
     chrome_trace_events,
     write_chrome_trace,
     write_metrics_csv,
+)
+from .ledger import (
+    Ledger,
+    NoopLedger,
+    disable_ledger,
+    emit,
+    enable_ledger,
+    format_event,
+    get_ledger,
+    ledger_enabled,
+    ledger_events,
+    read_ledger_ndjson,
+    set_ledger,
+    write_ledger_ndjson,
+)
+from .manifest import (
+    MANIFEST_SCHEMA,
+    config_hash,
+    git_sha,
+    read_manifest,
+    run_manifest,
+    write_manifest,
 )
 from .metrics import Histogram, MetricsReport, MetricStat, aggregate, percentile
 from .tracer import (
@@ -76,4 +114,39 @@ __all__ = [
     "chrome_trace_document",
     "write_chrome_trace",
     "write_metrics_csv",
+    # events
+    "Event",
+    "event_to_json",
+    "event_from_json",
+    "EVENT_TYPES",
+    "EV_MANIFEST",
+    "EV_RELAY_SELECTED",
+    "EV_TRANSMISSION_SCHEDULED",
+    "EV_NODE_INFORMED",
+    "EV_ENERGY_DEBITED",
+    "EV_CONSTRAINT_VIOLATED",
+    "EV_FEASIBILITY_CHECKED",
+    "EV_SIM_RECEPTION",
+    "EV_ONLINE_ATTEMPT",
+    "EV_RUN_SUMMARY",
+    # ledger
+    "Ledger",
+    "NoopLedger",
+    "get_ledger",
+    "set_ledger",
+    "enable_ledger",
+    "disable_ledger",
+    "ledger_enabled",
+    "emit",
+    "ledger_events",
+    "write_ledger_ndjson",
+    "read_ledger_ndjson",
+    "format_event",
+    # manifests
+    "MANIFEST_SCHEMA",
+    "config_hash",
+    "git_sha",
+    "run_manifest",
+    "write_manifest",
+    "read_manifest",
 ]

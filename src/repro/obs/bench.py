@@ -1,0 +1,344 @@
+"""Micro-benchmark suite with a committed-baseline regression gate.
+
+``run_bench`` times the pipeline's core operations (DTS construction,
+auxiliary-graph build, Steiner solve, full EEDCB / FR-EEDCB runs,
+Monte-Carlo simulation, temporal Dijkstra, feasibility checking) on a
+deterministic synthetic instance and reports p50/p95 wall times together
+with the *work counters* each operation produced (Steiner expansions, NLP
+iterations, Dijkstra settles).  Counters are machine-independent, so they
+gate algorithmic regressions exactly; wall times gate performance with a
+configurable tolerance.
+
+``compare`` checks a fresh result against a committed baseline
+(:file:`benchmarks/baseline.json`) and reports every tier-1 operation whose
+p50 time or work counter grew by more than the tolerance (default 25 %).
+``repro bench`` wires this to the command line and exits nonzero on any
+regression; CI runs it with a wider time tolerance to absorb machine
+variance (counters stay exact).
+
+The suite also measures the *disabled-instrumentation overhead*: the cost
+of the hoisted ``ledger.enabled`` checks and no-op counter bumps that
+remain in the hot paths when observability is off, reported as an estimated
+fraction of an EEDCB run (the acceptance bar is < 1 %).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .ledger import Ledger, get_ledger, set_ledger
+from .manifest import run_manifest
+from .metrics import percentile
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "TIER1_OPS",
+    "run_bench",
+    "compare",
+    "write_bench",
+    "read_bench",
+    "bench_filename",
+    "measure_disabled_overhead",
+]
+
+BENCH_SCHEMA = "repro.bench/1"
+
+#: operations whose regression fails the gate (ROADMAP tier-1 pipeline)
+TIER1_OPS = (
+    "dts_build",
+    "aux_graph_build",
+    "steiner_solve",
+    "eedcb_run",
+    "fr_eedcb_run",
+    "monte_carlo",
+)
+
+#: counters that are deterministic work measures (gated exactly like times)
+_GATED_COUNTERS = ("steiner_expansions", "journeys_expanded")
+
+
+def _calibrate(repeats: int = 5) -> float:
+    """Wall time (ms) of a fixed interpreter-bound workload, best of N.
+
+    The pipeline ops are interpreter-bound too, so dividing their times by
+    this calibration cancels machine speed and transient slowdown (CPU
+    frequency scaling, noisy neighbours) — the gate then compares
+    machine-independent ratios instead of raw milliseconds.
+    """
+    def work() -> float:
+        # Mixed arithmetic + allocation, mirroring the graph-build ops
+        # (which are dominated by object construction, not arithmetic).
+        acc = 0.0
+        store = {}
+        for i in range(60_000):
+            acc += (i % 7) * 1.000001
+            store[i % 512] = (i, acc, [i, i + 1])
+        return acc
+
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        work()
+        times.append(time.perf_counter() - t0)
+    return min(times) * 1e3
+
+
+def _build_instance(num_nodes: int, delay: float, seed: int):
+    """The fixed benchmark instance: a Haggle-like window, both channels."""
+    from ..temporal.reachability import broadcast_feasible_sources
+    from ..traces import HaggleLikeConfig, haggle_like_trace
+    from ..tveg import tveg_from_trace
+
+    trace = haggle_like_trace(HaggleLikeConfig(num_nodes=num_nodes), seed=seed)
+    window = trace.restrict_window(9000.0, 9000.0 + delay).shift(-9000.0)
+    static = tveg_from_trace(window, "static", seed=5)
+    fading = tveg_from_trace(window, "rayleigh", seed=5)
+    sources = sorted(broadcast_feasible_sources(static.tvg, 0.0, delay))
+    if not sources:
+        raise RuntimeError(
+            f"benchmark instance (N={num_nodes}, seed={seed}) has no "
+            "broadcast-feasible source; adjust the window"
+        )
+    return static, fading, sources[0]
+
+
+def _ops(
+    static, fading, source, delay: float, trials: int
+) -> List[Tuple[str, Callable[[], Optional[Dict[str, float]]]]]:
+    """(name, thunk) pairs; a thunk may return a counters dict."""
+    from ..algorithms import make_scheduler
+    from ..auxgraph import build_aux_graph
+    from ..dts import build_dts
+    from ..schedule import check_feasibility
+    from ..sim import run_trials
+    from ..steiner import solve_memt
+    from ..temporal import earliest_arrivals
+
+    dts = build_dts(static.tvg, delay)
+    aux = build_aux_graph(static, source, delay, dts)
+    schedule = make_scheduler("eedcb").run(static, source, delay).schedule
+
+    def dts_build():
+        d = build_dts(static.tvg, delay)
+        return {"dts_points": float(d.total_points())}
+
+    def aux_graph_build():
+        a = build_aux_graph(static, source, delay, dts)
+        return {"aux_nodes": float(a.num_nodes), "aux_edges": float(a.num_edges)}
+
+    def steiner_solve():
+        stats: Dict[str, int] = {}
+        solve_memt(aux.graph, aux.root, aux.terminals, method="greedy",
+                   stats=stats)
+        return {"steiner_expansions": float(stats.get("expansions", 0))}
+
+    def eedcb_run():
+        info = make_scheduler("eedcb").run(static, source, delay).info
+        return {"steiner_expansions": float(info["steiner_expansions"])}
+
+    def fr_eedcb_run():
+        info = make_scheduler("fr-eedcb").run(fading, source, delay).info
+        return {"nlp_iterations": float(info["nlp_iterations"])}
+
+    def monte_carlo():
+        run_trials(static, schedule, source, num_trials=trials, seed=1)
+        return {"trials": float(trials)}
+
+    def temporal_dijkstra():
+        arr = earliest_arrivals(static.tvg, source)
+        return {"journeys_expanded": float(sum(1 for a in arr.values()
+                                               if a < float("inf")))}
+
+    def feasibility_check():
+        check_feasibility(static, schedule, source, delay)
+        return None
+
+    return [
+        ("dts_build", dts_build),
+        ("aux_graph_build", aux_graph_build),
+        ("steiner_solve", steiner_solve),
+        ("eedcb_run", eedcb_run),
+        ("fr_eedcb_run", fr_eedcb_run),
+        ("monte_carlo", monte_carlo),
+        ("temporal_dijkstra", temporal_dijkstra),
+        ("feasibility_check", feasibility_check),
+    ]
+
+
+def measure_disabled_overhead(
+    eedcb_thunk: Callable[[], Any], p50_seconds: float, calls: int = 200_000
+) -> Dict[str, float]:
+    """Estimate the cost of instrumentation left in hot paths when off.
+
+    Times the exact disabled-path pattern (an ``enabled`` attribute check,
+    plus a no-op ``counter`` bump) per call, counts how many instrumentation
+    events one EEDCB run actually produces (by running it once with a
+    recording ledger), and reports the product as a fraction of the run's
+    disabled-mode p50.
+    """
+    from .tracer import counter
+
+    led = get_ledger()
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        if led.enabled:
+            led.emit("x")
+        counter("bench.noop")
+    gated = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        pass
+    bare = time.perf_counter() - t0
+    per_call = max((gated - bare) / calls, 0.0)
+
+    old = set_ledger(Ledger())
+    try:
+        eedcb_thunk()
+        events_per_run = len(get_ledger())
+    finally:
+        set_ledger(old)
+
+    estimated = (
+        events_per_run * per_call / p50_seconds if p50_seconds > 0 else 0.0
+    )
+    return {
+        "noop_call_ns": per_call * 1e9,
+        "events_per_eedcb_run": float(events_per_run),
+        "estimated_fraction_of_eedcb": estimated,
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    num_nodes: Optional[int] = None,
+    seed: int = 99,
+) -> Dict[str, Any]:
+    """Run the suite; returns the bench document (see :data:`BENCH_SCHEMA`).
+
+    ``quick`` shrinks the instance and repeat count for CI smoke runs.
+    Instrumentation is forced off during timing so the numbers reflect the
+    shipped default configuration.
+    """
+    from .tracer import is_enabled
+
+    if is_enabled() or get_ledger().enabled:
+        raise RuntimeError(
+            "disable tracing and the ledger before benchmarking; the suite "
+            "times the default (disabled) configuration"
+        )
+    r = repeats if repeats is not None else (3 if quick else 7)
+    n = num_nodes if num_nodes is not None else (12 if quick else 20)
+    delay = 2000.0
+    trials = 30 if quick else 100
+    static, fading, source = _build_instance(n, delay, seed)
+
+    results: Dict[str, Any] = {}
+    eedcb_thunk = None
+    for name, thunk in _ops(static, fading, source, delay, trials):
+        if name == "eedcb_run":
+            eedcb_thunk = thunk
+        times: List[float] = []
+        counters: Optional[Dict[str, float]] = None
+        for _ in range(r):
+            t0 = time.perf_counter()
+            counters = thunk()
+            times.append(time.perf_counter() - t0)
+        results[name] = {
+            "tier1": name in TIER1_OPS,
+            "repeats": r,
+            "min_ms": min(times) * 1e3,
+            "p50_ms": percentile(times, 50.0) * 1e3,
+            "p95_ms": percentile(times, 95.0) * 1e3,
+            "mean_ms": sum(times) / len(times) * 1e3,
+            "counters": counters or {},
+        }
+
+    overhead = measure_disabled_overhead(
+        eedcb_thunk, results["eedcb_run"]["p50_ms"] / 1e3
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "calibration_ms": _calibrate(),
+        "manifest": run_manifest(
+            config={"num_nodes": n, "delay": delay, "trials": trials,
+                    "repeats": r, "seed": seed, "quick": quick},
+        ),
+        "results": results,
+        "overhead": overhead,
+    }
+
+
+def compare(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Regression messages for tier-1 ops; empty means the gate passes.
+
+    A tier-1 op regresses when its wall time or any gated work counter
+    exceeds the baseline by more than ``tolerance`` (fractional).  Times
+    are compared by their per-suite *minimum* (the robust estimator under
+    background load), normalized by each suite's interpreter calibration
+    (see :func:`_calibrate`) so machine speed and transient slowdown cancel
+    out.  Ops missing from either side are skipped (the suites may differ
+    across versions); a shrunken-instance (quick) run is only compared
+    against a quick baseline.
+    """
+    problems: List[str] = []
+    if current.get("quick") != baseline.get("quick"):
+        return [
+            "bench modes differ (quick vs full); regenerate the baseline "
+            "with the same mode"
+        ]
+    cur_cal = current.get("calibration_ms") or 0.0
+    base_cal = baseline.get("calibration_ms") or 0.0
+    # Scale baseline times to this run's machine speed; 1.0 when either
+    # suite predates calibration.
+    scale = cur_cal / base_cal if cur_cal > 0 and base_cal > 0 else 1.0
+    base_results = baseline.get("results", {})
+    for op, cur in current.get("results", {}).items():
+        if not cur.get("tier1"):
+            continue
+        base = base_results.get(op)
+        if base is None:
+            continue
+        bt = base.get("min_ms", base.get("p50_ms", 0.0)) * scale
+        ct = cur.get("min_ms", cur.get("p50_ms", 0.0))
+        # Small absolute slack: sub-millisecond ops jitter far more than 25 %.
+        if bt > 0 and ct > bt * (1.0 + tolerance) and ct - bt > 1.0:
+            problems.append(
+                f"{op}: min {ct:.2f} ms vs calibrated baseline {bt:.2f} ms "
+                f"(+{(ct / bt - 1.0) * 100:.0f}%, tolerance "
+                f"{tolerance * 100:.0f}%)"
+            )
+        base_counters = base.get("counters", {})
+        for key in _GATED_COUNTERS:
+            if key in base_counters and key in cur.get("counters", {}):
+                bc, cc = base_counters[key], cur["counters"][key]
+                if bc > 0 and cc > bc * (1.0 + tolerance):
+                    problems.append(
+                        f"{op}: counter {key} {cc:g} vs baseline {bc:g} "
+                        f"(+{(cc / bc - 1.0) * 100:.0f}%)"
+                    )
+    return problems
+
+
+def bench_filename(directory: str = ".") -> str:
+    """The dated output path, ``BENCH_<YYYYMMDD>.json``."""
+    return os.path.join(directory, time.strftime("BENCH_%Y%m%d.json"))
+
+
+def write_bench(doc: Mapping[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def read_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)

@@ -1,0 +1,234 @@
+"""The run ledger: structured domain-event recording with NDJSON I/O.
+
+Architecture mirrors :mod:`repro.obs.tracer`: a swappable process-global
+ledger that defaults to a :class:`NoopLedger` whose ``emit`` is an empty
+method — instrumented call sites cost a couple of attribute lookups when
+recording is off.  Hot loops should hoist the check once::
+
+    led = obs.get_ledger()
+    if led.enabled:
+        led.emit(obs.EV_ENERGY_DEBITED, t=..., relay=..., cost=...)
+
+Casual call sites just use the module-level :func:`emit`.
+
+Recording and export::
+
+    from repro import obs
+
+    obs.enable_ledger()
+    ...                                   # run any pipeline
+    obs.write_ledger_ndjson("run.ndjson") # one JSON object per line
+    obs.disable_ledger()
+
+``repro schedule --ledger-out run.ndjson`` does the same from the CLI, and
+``repro report run.ndjson`` renders the result as an HTML diagnostics page.
+
+A :class:`Ledger` can also stream events through a stdlib
+:mod:`logging` logger as they happen (the CLI's ``-v`` flag) — recording
+and streaming are independent: pass ``logger=`` for streaming, keep the
+default for silent in-memory recording.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+from typing import Any, Iterable, List, Optional, TextIO, Tuple, Union
+
+from .events import Event, event_from_json, event_to_json
+
+__all__ = [
+    "Ledger",
+    "NoopLedger",
+    "get_ledger",
+    "set_ledger",
+    "enable_ledger",
+    "disable_ledger",
+    "ledger_enabled",
+    "emit",
+    "ledger_events",
+    "write_ledger_ndjson",
+    "read_ledger_ndjson",
+    "format_event",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+Target = Union[PathLike, TextIO]
+
+
+def format_event(event: Event) -> str:
+    """A one-line human-readable rendering (what ``-v`` streams)."""
+    at = f" t={event.t:g}" if event.t is not None else ""
+    body = " ".join(f"{k}={v}" for k, v in sorted(event.fields.items()))
+    return f"{event.type}{at}" + (f" {body}" if body else "")
+
+
+class Ledger:
+    """A recording ledger: thread-safe append-only event list.
+
+    Parameters
+    ----------
+    logger:
+        Optional stdlib logger; every event is additionally emitted there
+        at ``level`` as a human-readable line.
+    level:
+        Logging level for streamed events (default ``logging.INFO``).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        logger: Optional[logging.Logger] = None,
+        level: int = logging.INFO,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._events: List[Event] = []
+        self._seq = 0
+        self._logger = logger
+        self._level = level
+
+    def emit(self, type: str, t: Optional[float] = None, **fields: Any) -> Event:
+        """Record one event; returns the stored :class:`Event`."""
+        with self._lock:
+            ev = Event(seq=self._seq, type=type, t=t, fields=fields)
+            self._seq += 1
+            self._events.append(ev)
+        if self._logger is not None:
+            self._logger.log(self._level, "%s", format_event(ev))
+        return ev
+
+    def events(self) -> Tuple[Event, ...]:
+        """Everything recorded so far, in emission order."""
+        with self._lock:
+            return tuple(self._events)
+
+    def clear(self) -> None:
+        """Drop all recorded events and restart the sequence numbers."""
+        with self._lock:
+            self._events = []
+            self._seq = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Ledger(events={len(self)})"
+
+
+class NoopLedger:
+    """The default ledger: records nothing, costs ~nothing."""
+
+    enabled = False
+
+    def emit(self, type: str, t: Optional[float] = None, **fields: Any) -> None:
+        pass
+
+    def events(self) -> Tuple[Event, ...]:
+        return ()
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+_NOOP_LEDGER = NoopLedger()
+_ledger = _NOOP_LEDGER
+
+
+def get_ledger():
+    """The process-global ledger currently receiving events."""
+    return _ledger
+
+
+def set_ledger(ledger) -> object:
+    """Install ``ledger`` (None → the no-op ledger); returns the old one."""
+    global _ledger
+    old = _ledger
+    _ledger = ledger if ledger is not None else _NOOP_LEDGER
+    return old
+
+
+def enable_ledger(
+    logger: Optional[logging.Logger] = None, level: int = logging.INFO
+) -> Ledger:
+    """Switch event recording on; returns the recording :class:`Ledger`.
+
+    Reuses the current recording ledger when one is installed and no
+    ``logger`` is requested; otherwise installs a fresh one.
+    """
+    global _ledger
+    if not _ledger.enabled or logger is not None:
+        _ledger = Ledger(logger=logger, level=level)
+    return _ledger
+
+
+def disable_ledger() -> None:
+    """Switch event recording off (back to the no-op ledger)."""
+    set_ledger(None)
+
+
+def ledger_enabled() -> bool:
+    return _ledger.enabled
+
+
+def emit(type: str, t: Optional[float] = None, **fields: Any) -> None:
+    """Emit one event on the global ledger (no-op when disabled)."""
+    _ledger.emit(type, t=t, **fields)
+
+
+def ledger_events() -> Tuple[Event, ...]:
+    """All events on the global ledger (empty when disabled)."""
+    return _ledger.events()
+
+
+def _open_target(target: Target, mode: str):
+    if hasattr(target, "write") or hasattr(target, "read"):
+        return target, False
+    return open(os.fspath(target), mode, encoding="utf-8", newline=""), True
+
+
+def write_ledger_ndjson(
+    target: Target, events: Optional[Iterable[Event]] = None
+) -> int:
+    """Write events as NDJSON (one JSON object per line); returns the count.
+
+    ``events`` defaults to the global ledger's recorded events.
+    """
+    evs = ledger_events() if events is None else tuple(events)
+    f, close = _open_target(target, "w")
+    try:
+        for ev in evs:
+            f.write(event_to_json(ev))
+            f.write("\n")
+    finally:
+        if close:
+            f.close()
+    return len(evs)
+
+
+def read_ledger_ndjson(source: Target) -> List[Event]:
+    """Read an NDJSON ledger file back into :class:`Event` records.
+
+    Blank lines are skipped; a malformed line raises :class:`ValueError`
+    naming its 1-based line number.
+    """
+    f, close = _open_target(source, "r")
+    try:
+        out: List[Event] = []
+        for i, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(event_from_json(line))
+            except ValueError as exc:
+                raise ValueError(f"line {i}: {exc}") from exc
+        return out
+    finally:
+        if close:
+            f.close()

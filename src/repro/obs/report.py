@@ -1,0 +1,247 @@
+"""Self-contained HTML diagnostics reports from recorded run ledgers.
+
+``repro schedule --ledger-out run.ndjson`` records a run's typed domain
+events (with the manifest embedded as the first record); ``repro report
+run.ndjson -o report.html`` renders that single file into a single HTML
+page with no external assets:
+
+* the run manifest (config hash, seed, git SHA, platform, wall time);
+* an informed-fraction-over-time sparkline (inline SVG) built from the
+  per-node ε-crossing events;
+* a per-node energy table aggregated from the scheduled transmissions;
+* a stage wall-time breakdown from the run summary;
+* every feasibility violation, naming the violated Section IV condition.
+
+The renderer is forgiving: sections whose events are absent are simply
+omitted, so partial ledgers (e.g. simulation-only runs) still render.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from collections import Counter, defaultdict
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from . import events as ev
+from .events import Event
+from .ledger import read_ledger_ndjson
+
+__all__ = ["load_run", "render_html", "write_report"]
+
+
+def load_run(path: str) -> Tuple[Dict[str, Any], List[Event]]:
+    """Read an NDJSON ledger; returns (manifest, events).
+
+    The manifest is the first ``manifest`` event's fields (empty when the
+    ledger was recorded without one).
+    """
+    records = read_ledger_ndjson(path)
+    manifest: Dict[str, Any] = {}
+    for e in records:
+        if e.type == ev.EV_MANIFEST:
+            manifest = dict(e.fields)
+            break
+    return manifest, records
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _informed_curve(
+    records: Sequence[Event], num_nodes: Optional[int]
+) -> List[Tuple[float, float]]:
+    """(time, informed fraction) steps from the ε-crossing events."""
+    times = sorted(
+        e.t for e in records if e.type == ev.EV_NODE_INFORMED and e.t is not None
+    )
+    if not times:
+        return []
+    total = num_nodes if num_nodes else len(times)
+    return [(t, min((i + 1) / total, 1.0)) for i, t in enumerate(times)]
+
+
+def _sparkline_svg(curve: Sequence[Tuple[float, float]]) -> str:
+    """An inline step-plot SVG of the informed fraction over time."""
+    w, h, pad = 640, 120, 8
+    t0, t1 = curve[0][0], curve[-1][0]
+    span = (t1 - t0) or 1.0
+
+    def x(t: float) -> float:
+        return pad + (t - t0) / span * (w - 2 * pad)
+
+    def y(f: float) -> float:
+        return h - pad - f * (h - 2 * pad)
+
+    pts = [f"{x(curve[0][0]):.1f},{y(0.0):.1f}"]
+    prev_f = 0.0
+    for t, f in curve:
+        pts.append(f"{x(t):.1f},{y(prev_f):.1f}")  # step: horizontal then up
+        pts.append(f"{x(t):.1f},{y(f):.1f}")
+        prev_f = f
+    pts.append(f"{x(t1):.1f},{y(prev_f):.1f}")
+    return (
+        f'<svg viewBox="0 0 {w} {h}" width="{w}" height="{h}" '
+        'role="img" aria-label="informed fraction over time">'
+        f'<rect width="{w}" height="{h}" fill="#f8f9fa"/>'
+        f'<polyline points="{" ".join(pts)}" fill="none" '
+        'stroke="#1a6faf" stroke-width="2"/>'
+        f'<text x="{pad}" y="{h - 2}" font-size="10" fill="#666">'
+        f"t={t0:g}</text>"
+        f'<text x="{w - pad}" y="{h - 2}" font-size="10" fill="#666" '
+        f'text-anchor="end">t={t1:g}</text></svg>'
+    )
+
+
+def _energy_rows(records: Sequence[Event]) -> List[Tuple[str, str, int, float]]:
+    """(relay, algorithm, transmissions, total cost) per scheduled relay."""
+    agg: Dict[Tuple[str, str], List[float]] = defaultdict(list)
+    for e in records:
+        if e.type == ev.EV_TRANSMISSION_SCHEDULED:
+            key = (str(e.fields.get("relay")), str(e.fields.get("algorithm")))
+            agg[key].append(float(e.fields.get("cost", 0.0)))
+    return sorted(
+        (relay, algo, len(costs), sum(costs))
+        for (relay, algo), costs in agg.items()
+    )
+
+
+def _stage_bars(stage_seconds: Mapping[str, float]) -> str:
+    total = sum(stage_seconds.values()) or 1.0
+    rows = []
+    for stage, secs in sorted(
+        stage_seconds.items(), key=lambda kv: -kv[1]
+    ):
+        pct = secs / total * 100.0
+        rows.append(
+            "<tr><td>%s</td><td>%.4f s</td><td>"
+            '<div style="background:#1a6faf;height:10px;width:%.1f%%">'
+            "</div></td></tr>" % (_esc(stage), secs, max(pct, 0.5))
+        )
+    return (
+        '<table class="t"><tr><th>stage</th><th>wall time</th>'
+        '<th style="width:50%">share</th></tr>' + "".join(rows) + "</table>"
+    )
+
+
+def render_html(
+    records: Sequence[Event],
+    manifest: Optional[Mapping[str, Any]] = None,
+    title: str = "repro run report",
+) -> str:
+    """Render a recorded run into one self-contained HTML document."""
+    manifest = dict(manifest or {})
+    summary = next(
+        (e for e in records if e.type == ev.EV_RUN_SUMMARY), None
+    )
+    num_nodes = None
+    if summary is not None and summary.fields.get("num_nodes"):
+        num_nodes = int(summary.fields["num_nodes"])
+
+    parts: List[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title>",
+        "<style>body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;"
+        "max-width:720px;color:#222}h1{font-size:1.4em}h2{font-size:1.1em;"
+        "margin-top:1.6em}.t{border-collapse:collapse;width:100%}"
+        ".t td,.t th{border:1px solid #ddd;padding:3px 8px;text-align:left;"
+        "font-size:13px}.t th{background:#f0f2f4}code{background:#f4f4f4;"
+        "padding:1px 4px}.viol{color:#a01a1a}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+    ]
+
+    if summary is not None:
+        f = summary.fields
+        feas = f.get("feasible")
+        badge = (
+            '<span style="color:#1a7a2e">feasible</span>' if feas
+            else '<span class="viol">infeasible</span>' if feas is not None
+            else ""
+        )
+        parts.append(
+            "<p>algorithm <code>%s</code> &middot; %s transmissions "
+            "&middot; total cost %s &middot; %s</p>"
+            % (
+                _esc(f.get("algorithm", "?")),
+                _esc(f.get("transmissions", "?")),
+                _esc(f.get("total_cost", "?")),
+                badge,
+            )
+        )
+
+    if manifest:
+        parts.append("<h2>Manifest</h2><table class='t'>")
+        for key in sorted(manifest):
+            if key == "config":
+                val = json.dumps(manifest[key], sort_keys=True)
+            else:
+                val = manifest[key]
+            parts.append(
+                f"<tr><th>{_esc(key)}</th><td><code>{_esc(val)}</code>"
+                "</td></tr>"
+            )
+        parts.append("</table>")
+
+    curve = _informed_curve(records, num_nodes)
+    if curve:
+        parts.append("<h2>Informed fraction over time</h2>")
+        parts.append(_sparkline_svg(curve))
+        parts.append(
+            "<p>%d ε-crossings recorded; final fraction %.2f</p>"
+            % (len(curve), curve[-1][1])
+        )
+
+    energy = _energy_rows(records)
+    if energy:
+        parts.append(
+            "<h2>Per-node energy</h2><table class='t'><tr><th>relay</th>"
+            "<th>algorithm</th><th>transmissions</th><th>total cost</th></tr>"
+        )
+        for relay, algo, n, cost in energy:
+            parts.append(
+                f"<tr><td>{_esc(relay)}</td><td>{_esc(algo)}</td>"
+                f"<td>{n}</td><td>{cost:.6g}</td></tr>"
+            )
+        parts.append("</table>")
+
+    if summary is not None and summary.fields.get("stage_seconds"):
+        parts.append("<h2>Stage timing</h2>")
+        parts.append(_stage_bars(summary.fields["stage_seconds"]))
+
+    violations = [e for e in records if e.type == ev.EV_CONSTRAINT_VIOLATED]
+    parts.append("<h2>Feasibility violations</h2>")
+    if violations:
+        parts.append("<ul>")
+        for e in violations:
+            detail = e.fields.get("detail", "")
+            parts.append(
+                '<li class="viol"><code>%s</code> %s</li>'
+                % (_esc(e.fields.get("constraint", "?")), _esc(detail))
+            )
+        parts.append("</ul>")
+    else:
+        parts.append("<p>none — all four Section IV conditions hold.</p>")
+
+    counts = Counter(e.type for e in records)
+    parts.append(
+        "<h2>Event summary</h2><table class='t'>"
+        "<tr><th>event type</th><th>count</th></tr>"
+    )
+    for etype, n in counts.most_common():
+        parts.append(f"<tr><td><code>{_esc(etype)}</code></td><td>{n}</td></tr>")
+    parts.append("</table></body></html>")
+    return "".join(parts)
+
+
+def write_report(
+    ledger_path: str, out_path: str, title: Optional[str] = None
+) -> int:
+    """Render ``ledger_path`` (NDJSON) to ``out_path`` (HTML); event count."""
+    manifest, records = load_run(ledger_path)
+    doc = render_html(
+        records, manifest, title=title or f"repro run report — {ledger_path}"
+    )
+    with open(out_path, "w", encoding="utf-8") as f:
+        f.write(doc)
+    return len(records)

@@ -21,6 +21,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.rng import SeedLike, as_generator, spawn
 from ..errors import SolverError
 from ..tveg.graph import TVEG
@@ -79,6 +80,10 @@ def run_online(
     energy = 0.0
     attempts = 0
     successes = 0
+    # Hoisted: attempt events must cost nothing when the ledger is off
+    # (run_online_trials calls this engine once per Monte-Carlo trial).
+    led = obs.get_ledger()
+    recording = led.enabled
 
     # (time, seq, carrier, other, attempts_left)
     heap: List[Tuple[float, int, Node, Node, int]] = []
@@ -99,50 +104,59 @@ def run_online(
 
     schedule_opportunities(source, 0.0)
 
-    while heap:
-        t, _, carrier, other, tries = heapq.heappop(heap)
-        if t >= deadline:
-            break
-        if other in views:
-            continue  # already informed meanwhile
-        view = views[carrier]
-        if view.tokens is not None and view.tokens < 1:
-            continue  # spray-and-wait leaf: holds the packet, never spreads
-        if not tveg.adjacent(carrier, other, t):
-            continue  # contact over (or τ-window no longer fits)
-        decision = protocol.on_contact(view, other, t, rng)
-        fired = False
-        if decision.transmit:
-            cost = (
-                decision.cost
-                if decision.cost is not None
-                else tveg.min_cost(carrier, other, t)
-            )
-            if math.isfinite(cost):
-                energy += cost
-                attempts += 1
-                fired = True
-                p_fail = tveg.failure(carrier, other, t, cost)
-                if rng.random() >= p_fail:
-                    successes += 1
-                    view.forwards += 1
-                    given = decision.tokens_given
-                    if view.tokens is not None and given is not None:
-                        given = min(given, view.tokens - 1)
-                        view.tokens -= given
-                    views[other] = NodeView(
-                        node=other,
-                        received_at=t + tveg.tau,
-                        tokens=given,
-                    )
-                    schedule_opportunities(other, t + tveg.tau)
-                    continue
-        # failed or declined: retry later within the same contact
-        if tries > 1:
-            heapq.heappush(
-                heap, (t + retry_interval, seq, carrier, other, tries - 1)
-            )
-            seq += 1
+    with obs.span("online.run", protocol=type(protocol).__name__):
+        while heap:
+            t, _, carrier, other, tries = heapq.heappop(heap)
+            if t >= deadline:
+                break
+            if other in views:
+                continue  # already informed meanwhile
+            view = views[carrier]
+            if view.tokens is not None and view.tokens < 1:
+                continue  # spray-and-wait leaf: holds packet, never spreads
+            if not tveg.adjacent(carrier, other, t):
+                continue  # contact over (or τ-window no longer fits)
+            decision = protocol.on_contact(view, other, t, rng)
+            if decision.transmit:
+                cost = (
+                    decision.cost
+                    if decision.cost is not None
+                    else tveg.min_cost(carrier, other, t)
+                )
+                if math.isfinite(cost):
+                    energy += cost
+                    attempts += 1
+                    p_fail = tveg.failure(carrier, other, t, cost)
+                    ok = rng.random() >= p_fail
+                    if recording:
+                        led.emit(
+                            obs.EV_ONLINE_ATTEMPT, t=t, carrier=carrier,
+                            peer=other, cost=cost, success=ok,
+                        )
+                    if ok:
+                        successes += 1
+                        view.forwards += 1
+                        given = decision.tokens_given
+                        if view.tokens is not None and given is not None:
+                            given = min(given, view.tokens - 1)
+                            view.tokens -= given
+                        views[other] = NodeView(
+                            node=other,
+                            received_at=t + tveg.tau,
+                            tokens=given,
+                        )
+                        schedule_opportunities(other, t + tveg.tau)
+                        continue
+            # failed or declined: retry later within the same contact
+            if tries > 1:
+                heapq.heappush(
+                    heap, (t + retry_interval, seq, carrier, other, tries - 1)
+                )
+                seq += 1
+    if attempts:
+        obs.counter("online.attempts", attempts)
+    if successes:
+        obs.counter("online.successes", successes)
 
     reception = tuple(
         sorted(((n, v.received_at) for n, v in views.items()), key=lambda kv: kv[1])

@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from .. import obs
 from ..tveg.graph import TVEG
 from .schedule import Schedule, Transmission
 
@@ -129,6 +130,7 @@ def check_feasibility(
     eps: Optional[float] = None,
     start_time: float = 0.0,
     targets: Optional[Tuple[Node, ...]] = None,
+    record: Optional[str] = None,
 ) -> FeasibilityReport:
     """Evaluate conditions (i)–(iv) for ``schedule`` on ``tveg``.
 
@@ -136,52 +138,121 @@ def check_feasibility(
     is when the source acquires the packet.  ``targets`` restricts condition
     (ii) to a multicast terminal set (default: every node — broadcast).
     See the module docstring for the causal same-instant semantics.
+
+    ``record`` names this check on the event ledger (e.g. ``"final"``):
+    per-node ε-crossing times and every violation are then emitted as
+    domain events.  The default ``None`` stays silent — the reduce passes
+    call this checker in tight candidate loops, and only the authoritative
+    end-of-pipeline check should land in the ledger.  The cheap
+    ``feasibility.checks`` / ``feasibility.failed`` counters are bumped
+    either way.
     """
     e = tveg.params.epsilon if eps is None else eps
     tau = tveg.tau
     violations: List[str] = []
 
-    informed_at, unfired = _causal_replay(tveg, schedule, source, e, start_time)
-
-    # (i) every relay informed when it transmits (causally)
-    relays_ok = not unfired
-    for s in unfired:
-        violations.append(
-            f"relay {s.relay!r} uninformed at its transmission time "
-            f"{s.time:g} (no causal firing order exists)"
+    with obs.span("feasibility.check", rows=len(schedule)):
+        informed_at, unfired = _causal_replay(
+            tveg, schedule, source, e, start_time
         )
 
-    # (ii) every target informed by T − τ (all nodes in the broadcast case)
-    required = tveg.nodes if targets is None else targets
-    all_ok = True
-    for node in required:
-        if informed_at[node] > deadline - tau:
-            all_ok = False
+        # (i) every relay informed when it transmits (causally)
+        relays_ok = not unfired
+        for s in unfired:
             violations.append(
-                f"node {node!r} not informed by T−τ={deadline - tau:g} "
-                f"(informed at {informed_at[node]:g})"
+                f"relay {s.relay!r} uninformed at its transmission time "
+                f"{s.time:g} (no causal firing order exists)"
             )
 
-    # (iii) latency bound
-    latency_ok = schedule.latency(tau) <= deadline
-    if not latency_ok:
-        violations.append(
-            f"latency {schedule.latency(tau):g} exceeds deadline {deadline:g}"
-        )
+        # (ii) every target informed by T − τ (all nodes in the broadcast case)
+        required = tveg.nodes if targets is None else targets
+        all_ok = True
+        for node in required:
+            if informed_at[node] > deadline - tau:
+                all_ok = False
+                violations.append(
+                    f"node {node!r} not informed by T−τ={deadline - tau:g} "
+                    f"(informed at {informed_at[node]:g})"
+                )
 
-    # (iv) budget — over the full scheduled cost, fired or not
-    budget_ok = True
-    if budget is not None and schedule.total_cost > budget:
-        budget_ok = False
-        violations.append(
-            f"total cost {schedule.total_cost:.4g} exceeds budget {budget:.4g}"
-        )
+        # (iii) latency bound
+        latency_ok = schedule.latency(tau) <= deadline
+        if not latency_ok:
+            violations.append(
+                f"latency {schedule.latency(tau):g} exceeds deadline {deadline:g}"
+            )
 
-    return FeasibilityReport(
+        # (iv) budget — over the full scheduled cost, fired or not
+        budget_ok = True
+        if budget is not None and schedule.total_cost > budget:
+            budget_ok = False
+            violations.append(
+                f"total cost {schedule.total_cost:.4g} exceeds budget {budget:.4g}"
+            )
+
+    report = FeasibilityReport(
         relays_informed=relays_ok,
         all_informed=all_ok,
         latency_ok=latency_ok,
         budget_ok=budget_ok,
         violations=tuple(violations),
         informed_times=tuple(sorted(informed_at.items(), key=lambda kv: repr(kv[0]))),
+    )
+    obs.counter("feasibility.checks")
+    if not report.feasible:
+        obs.counter("feasibility.failed")
+    if record is not None:
+        _record_report(tveg, report, unfired, budget, deadline, record, required)
+    return report
+
+
+def _record_report(
+    tveg: TVEG,
+    report: FeasibilityReport,
+    unfired: List[Transmission],
+    budget: Optional[float],
+    deadline: float,
+    label: str,
+    required,
+) -> None:
+    """Emit one feasibility evaluation as typed ledger events."""
+    led = obs.get_ledger()
+    if not led.enabled:
+        return
+    for node, t in report.informed_times:
+        if math.isfinite(t):
+            led.emit(
+                obs.EV_NODE_INFORMED, t=t, node=node, check=label,
+                eps=tveg.params.epsilon,
+            )
+    for s in unfired:
+        led.emit(
+            obs.EV_CONSTRAINT_VIOLATED, t=s.time, constraint="relay_informed",
+            relay=s.relay, check=label,
+            detail=f"relay {s.relay!r} uninformed at its transmission time",
+        )
+    if not report.all_informed:
+        required_set = set(required)
+        for node, t in report.informed_times:
+            if node in required_set and t > deadline - tveg.tau:
+                led.emit(
+                    obs.EV_CONSTRAINT_VIOLATED, constraint="all_informed",
+                    node=node, check=label,
+                    detail=f"node {node!r} not informed by T−τ",
+                )
+    if not report.latency_ok:
+        led.emit(
+            obs.EV_CONSTRAINT_VIOLATED, constraint="latency", check=label,
+            detail=f"latency exceeds deadline {deadline:g}",
+        )
+    if not report.budget_ok:
+        led.emit(
+            obs.EV_CONSTRAINT_VIOLATED, constraint="budget", check=label,
+            budget=budget, detail="total cost exceeds budget",
+        )
+    led.emit(
+        obs.EV_FEASIBILITY_CHECKED,
+        feasible=report.feasible,
+        num_violations=len(report.violations),
+        check=label,
     )

@@ -71,7 +71,7 @@ def run_trials(
         for i, child in enumerate(children):
             out = simulate_schedule(
                 tveg, schedule, source, child, count_scheduled_energy,
-                interference,
+                interference, trial_id=i,
             )
             deliveries[i] = out.delivery_ratio(n)
             energies[i] = out.energy

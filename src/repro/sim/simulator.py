@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
 
+from .. import obs
 from ..core.rng import SeedLike, as_generator
 from ..schedule.schedule import Schedule
 from ..tveg.graph import TVEG
@@ -58,11 +59,13 @@ def simulate_schedule(
     seed: SeedLike = None,
     count_scheduled_energy: bool = False,
     interference: str = "none",
+    trial_id: Optional[int] = None,
 ) -> TrialOutcome:
     """Execute one randomized trial of ``schedule`` on ``tveg``.
 
     ``interference``: ``"none"`` (paper model) or ``"collision"`` (protocol
-    model — see module docstring).
+    model — see module docstring).  ``trial_id`` tags this trial's ledger
+    events (the multi-trial runner passes the trial index).
     """
     if interference not in ("none", "collision"):
         raise ValueError(f"unknown interference model {interference!r}")
@@ -71,6 +74,10 @@ def simulate_schedule(
     reception: Dict[Node, float] = {source: 0.0}
     energy = 0.0
     fired = 0
+    # Hoisted once: per-transmission event emission must cost nothing when
+    # the ledger is off (the Monte-Carlo runner calls this in a tight loop).
+    led = obs.get_ledger()
+    recording = led.enabled
 
     def fire_round(senders) -> None:
         """Fire a set of simultaneous transmissions (one causal round)."""
@@ -80,6 +87,11 @@ def simulate_schedule(
         for s in senders:
             energy += s.cost
             fired += 1
+            if recording:
+                led.emit(
+                    obs.EV_ENERGY_DEBITED, t=s.time, relay=s.relay,
+                    cost=s.cost, context="sim", trial=trial_id,
+                )
             audiences[s] = [
                 v for v in tveg.neighbors(s.relay, s.time) if v not in received
             ]
@@ -98,6 +110,11 @@ def simulate_schedule(
                 if rng.random() >= p_fail:
                     received.add(v)
                     reception[v] = s.time + tveg.tau
+                    if recording:
+                        led.emit(
+                            obs.EV_SIM_RECEPTION, t=s.time + tveg.tau,
+                            node=v, relay=s.relay, trial=trial_id,
+                        )
 
     # Group same-time transmissions and resolve them to a causal fixpoint:
     # under the paper's τ ≈ 0 idealization (Eq. 6 admits t_j ≤ t_k) a relay

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..errors import GraphModelError
 from .tvg import TVG
 
@@ -178,6 +179,8 @@ def earliest_arrivals(
                 arrival[v] = arr
                 heapq.heappush(heap, (arr, counter, v))
                 counter += 1
+    # One bump per search, not per settle — keeps the hot loop clean.
+    obs.counter("temporal.journeys_expanded", len(settled))
     return arrival
 
 
@@ -222,6 +225,7 @@ def foremost_journey(
                 heapq.heappush(heap, (arr, counter, v))
                 counter += 1
 
+    obs.counter("temporal.journeys_expanded", len(settled))
     if arrival[destination] == math.inf:
         return None
     hops: List[Hop] = []

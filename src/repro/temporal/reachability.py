@@ -16,6 +16,7 @@ from typing import Dict, FrozenSet, Hashable, Set
 
 import networkx as nx
 
+from .. import obs
 from ..errors import GraphModelError
 from .journeys import earliest_arrivals
 from .tvg import TVG
@@ -66,13 +67,14 @@ def reachability_graph(
     ``j`` ≤ deadline.  Computed by one temporal Dijkstra per node —
     ``O(N · E log E)`` overall, fine at trace scale.
     """
-    g = nx.DiGraph()
-    g.add_nodes_from(tvg.nodes)
-    for src in tvg.nodes:
-        arrivals = earliest_arrivals(tvg, src, start_time)
-        for dst, a in arrivals.items():
-            if dst != src and math.isfinite(a) and a <= deadline:
-                g.add_edge(src, dst, arrival=a)
+    with obs.span("reachability.graph", nodes=tvg.num_nodes):
+        g = nx.DiGraph()
+        g.add_nodes_from(tvg.nodes)
+        for src in tvg.nodes:
+            arrivals = earliest_arrivals(tvg, src, start_time)
+            for dst, a in arrivals.items():
+                if dst != src and math.isfinite(a) and a <= deadline:
+                    g.add_edge(src, dst, arrival=a)
     return g
 
 
@@ -80,9 +82,10 @@ def broadcast_feasible_sources(
     tvg: TVG, start_time: float = 0.0, deadline: float = math.inf
 ) -> FrozenSet[Node]:
     """Sources from which a full broadcast can complete within the window."""
-    out: Set[Node] = set()
-    n = tvg.num_nodes
-    for src in tvg.nodes:
-        if len(reachable_set(tvg, src, start_time, deadline)) == n:
-            out.add(src)
+    with obs.span("reachability.feasible_sources", nodes=tvg.num_nodes):
+        out: Set[Node] = set()
+        n = tvg.num_nodes
+        for src in tvg.nodes:
+            if len(reachable_set(tvg, src, start_time, deadline)) == n:
+                out.add(src)
     return frozenset(out)

@@ -1,7 +1,10 @@
 """Command-line interface: every subcommand end to end."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 from repro.traces import deterministic_trace, write_crawdad
 
@@ -13,6 +16,13 @@ def trace_file(tmp_path):
     return str(p)
 
 
+@pytest.fixture(autouse=True)
+def _clean_global_ledger():
+    obs.disable_ledger()
+    yield
+    obs.disable_ledger()
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -20,15 +30,25 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for cmd in ("generate", "stats", "schedule", "simulate", "experiment"):
+        for cmd in ("generate", "stats", "schedule", "simulate",
+                    "experiment", "bench", "report"):
             args = {
                 "generate": [cmd, "x.dat"],
                 "stats": [cmd, "x.dat"],
                 "schedule": [cmd, "x.dat"],
                 "simulate": [cmd, "x.dat"],
                 "experiment": [cmd, "fig4"],
+                "bench": [cmd],
+                "report": [cmd, "run.ndjson"],
             }[cmd]
             assert parser.parse_args(args).command == cmd
+
+    def test_logging_flags_accepted_by_every_command(self):
+        parser = build_parser()
+        args = parser.parse_args(["schedule", "x.dat", "-v"])
+        assert args.verbose
+        args = parser.parse_args(["simulate", "x.dat", "--log-level", "debug"])
+        assert args.log_level == "debug"
 
 
 class TestCommands:
@@ -76,6 +96,128 @@ class TestCommands:
         rc = main(["stats", "/nonexistent/trace.dat"])
         assert rc == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_schedule_ledger_and_manifest_roundtrip(self, trace_file, tmp_path):
+        ledger = tmp_path / "run.ndjson"
+        manifest = tmp_path / "m.json"
+        rc = main(["schedule", trace_file, "--delay", "100", "--source", "0",
+                   "--ledger-out", str(ledger), "--manifest-out", str(manifest)])
+        assert rc == 0
+        events = obs.read_ledger_ndjson(ledger)
+        assert events[0].type == obs.EV_MANIFEST
+        assert events[0].fields["config_hash"]
+        types = {e.type for e in events}
+        assert obs.EV_TRANSMISSION_SCHEDULED in types
+        assert obs.EV_NODE_INFORMED in types
+        assert obs.EV_RUN_SUMMARY in types
+        m = obs.read_manifest(manifest)
+        assert m["config_hash"] == events[0].fields["config_hash"]
+        # The CLI tears the global ledger down afterwards.
+        assert not obs.ledger_enabled()
+
+    def test_schedule_trace_and_metrics_roundtrip(self, trace_file, tmp_path):
+        trace_out = tmp_path / "trace.jsonl"
+        metrics_out = tmp_path / "metrics.json"
+        rc = main(["schedule", trace_file, "--delay", "100", "--source", "0",
+                   "--trace-out", str(trace_out),
+                   "--metrics-out", str(metrics_out)])
+        assert rc == 0
+        assert trace_out.exists() and trace_out.read_text().strip()
+        metrics = metrics_out.read_text()
+        assert metrics.startswith("kind,name,count")  # aggregate CSV
+        assert "auxgraph.build" in metrics
+
+    def test_simulate_ledger_roundtrip(self, trace_file, tmp_path):
+        ledger = tmp_path / "sim.ndjson"
+        rc = main(["simulate", trace_file, "--algorithm", "greed",
+                   "--delay", "100", "--source", "0", "--trials", "5",
+                   "--ledger-out", str(ledger)])
+        assert rc == 0
+        types = [e.type for e in obs.read_ledger_ndjson(ledger)]
+        assert types[0] == obs.EV_MANIFEST
+        assert obs.EV_ENERGY_DEBITED in types
+        assert obs.EV_RUN_SUMMARY in types
+
+    def test_experiment_writes_manifest_into_csv_dir(self, tmp_path, capsys):
+        rc = main(["experiment", "fig5", "--repetitions", "1", "--trials", "5",
+                   "--nodes", "8", "--seed", "1", "--csv-dir", str(tmp_path)])
+        assert rc == 0
+        manifest = obs.read_manifest(tmp_path / "manifest.json")
+        assert manifest["config_hash"]
+        assert manifest["config"]["figure"] == "fig5"
+
+    def test_verbose_streams_events(self, trace_file, capsys):
+        rc = main(["schedule", trace_file, "--delay", "100", "--source", "0",
+                   "-v"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "transmission_scheduled" in err
+        assert "run_summary" in err
+
+    def test_default_run_is_silent(self, trace_file, capsys):
+        rc = main(["schedule", trace_file, "--delay", "100", "--source", "0"])
+        assert rc == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestReportCommand:
+    def test_schedule_then_report(self, trace_file, tmp_path, capsys):
+        ledger = tmp_path / "run.ndjson"
+        out = tmp_path / "report.html"
+        assert main(["schedule", trace_file, "--delay", "100", "--source", "0",
+                     "--ledger-out", str(ledger)]) == 0
+        assert main(["report", str(ledger), "-o", str(out)]) == 0
+        doc = out.read_text()
+        assert doc.startswith("<!doctype html>")
+        assert "<svg" in doc and "config_hash" in doc
+        assert "Per-node energy" in doc
+
+    def test_report_missing_ledger_errors(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "missing.ndjson")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    BENCH = ["bench", "--quick", "--nodes", "8", "--repeats", "1"]
+
+    def test_bench_writes_doc_and_skips_gate_without_baseline(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "bench.json"
+        rc = main([*self.BENCH, "--out", str(out),
+                   "--baseline", str(tmp_path / "none.json")])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.bench/1"
+        assert doc["quick"] is True
+        assert "eedcb_run" in doc["results"]
+        assert doc["results"]["eedcb_run"]["min_ms"] > 0
+        assert doc["overhead"]["estimated_fraction_of_eedcb"] < 0.01
+        captured = capsys.readouterr()
+        assert "gate skipped" in captured.out + captured.err
+
+    def test_bench_gate_pass_and_fail(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        out = tmp_path / "bench.json"
+        assert main([*self.BENCH, "--out", str(out),
+                     "--baseline", str(baseline), "--write-baseline"]) == 0
+        assert baseline.exists()
+        # Generous tolerance: same-process reruns only jitter a little.
+        assert main([*self.BENCH, "--out", str(out),
+                     "--baseline", str(baseline), "--tolerance", "30"]) == 0
+        # Doctor the baseline so every op looks like a huge regression.
+        doc = json.loads(baseline.read_text())
+        for entry in doc["results"].values():
+            entry["min_ms"] = 1e-6
+            entry["p50_ms"] = 1e-6
+        baseline.write_text(json.dumps(doc))
+        capsys.readouterr()
+        rc = main([*self.BENCH, "--out", str(out), "--baseline", str(baseline)])
+        assert rc == 3
+        assert "REGRESSION" in capsys.readouterr().err
 
 
 class TestExperimentCommand:

@@ -89,9 +89,12 @@ def test_fr_eedcb_feasible_and_cheaper_than_backbone(trace, seed):
     except InfeasibleError:
         return
     assert check_feasibility(tveg, res.schedule, 0, HORIZON).feasible
-    # The solver targets ε·(1 − margin) (strict-feasibility safety), so the
-    # allocation may exceed the ε-exact backbone by at most that margin.
-    assert res.info["allocated_cost"] <= res.info["backbone_cost"] * 1.001
+    # When the ε-exact backbone is itself feasible it doubles as a valid
+    # allocation, so the solver can never return anything more expensive.
+    # (On rare extraction corners the backbone is infeasible and the NLP
+    # must spend more than w0 to repair it — no cost bound applies then.)
+    if res.info["backbone_feasible"]:
+        assert res.info["allocated_cost"] <= res.info["backbone_cost"] * (1 + 1e-12)
 
 
 @given(contact_traces(), st.integers(0, 2**16))

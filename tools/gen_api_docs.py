@@ -85,6 +85,18 @@ on the `schedule`, `simulate`, and `experiment` subcommands. Per-stage
 wall times are additionally recorded (tracing on or off) under the
 standardized `SchedulerResult.info` keys documented on
 `repro.algorithms.Scheduler`.
+
+Alongside the tracer sits the **run ledger** — a typed domain-event log
+(relay selections, scheduled transmissions, per-node ε-crossings, energy
+debits, named feasibility violations) with the same swappable-global
+shape. `obs.enable_ledger()` records events in memory;
+`obs.write_ledger_ndjson` / `obs.read_ledger_ndjson` round-trip them as
+NDJSON whose first record is the run manifest (`obs.run_manifest`:
+config hash, seed, git SHA, platform). The CLI wires this up as
+`--ledger-out` / `--manifest-out` plus `-v` for live streaming, `repro
+report` renders a ledger to self-contained HTML, and `repro bench`
+gates tier-1 pipeline timings against `benchmarks/baseline.json`. See
+`docs/OBSERVABILITY.md` for the full tour.
 """,
 }
 
