@@ -8,7 +8,9 @@ Run from the repo root (the src/ layout needs the path hint)::
 Times the tier-1 pipeline operations, writes ``BENCH_<date>.json``, and
 exits nonzero when any tier-1 op's p50 wall time or deterministic work
 counter regresses past the tolerance versus :file:`benchmarks/baseline.json`
-(refresh it with ``--write-baseline`` after intentional changes).  See
+(refresh it with ``--write-baseline`` after intentional changes).  Unlike
+bare ``repro bench``, the gate always runs strict: a tier-1 op present in
+the baseline but missing from the run fails instead of being skipped.  See
 :mod:`repro.obs.bench` for the suite's contents.
 """
 
@@ -17,4 +19,7 @@ import sys
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main(["bench", *sys.argv[1:]]))
+    argv = sys.argv[1:]
+    if "--strict-ops" not in argv:
+        argv.append("--strict-ops")
+    sys.exit(main(["bench", *argv]))

@@ -22,9 +22,10 @@ from typing import Dict, Hashable, Optional
 
 from .. import obs
 from ..auxgraph.build import build_aux_graph
+from ..auxgraph.compact import build_compact_aux_graph
 from ..auxgraph.extract import extract_schedule
 from ..dts.dts import build_dts
-from ..errors import InfeasibleError
+from ..errors import InfeasibleError, SolverError
 from ..schedule.reduce import lower_costs, remove_redundant, upgrade_and_prune
 from ..steiner.memt import solve_memt
 from ..steiner.sptree import tree_cost
@@ -47,6 +48,11 @@ class EEDCB(Scheduler):
         ``"charikar"`` (small instances).
     charikar_level:
         Recursion level when ``memt_method="charikar"``.
+    backend:
+        Auxiliary-graph representation: ``"compact"`` (default, the CSR
+        fast path) or ``"nx"`` (the networkx construction).  Both produce
+        identical schedules; the switch exists for cross-checking and
+        benchmarking.
     """
 
     def __init__(
@@ -55,10 +61,17 @@ class EEDCB(Scheduler):
         charikar_level: int = 2,
         reduce: bool = True,
         targets=None,
+        backend: str = "compact",
     ):
+        if backend not in ("compact", "nx"):
+            raise SolverError(
+                f"unknown auxgraph backend {backend!r}; "
+                "choose 'compact' or 'nx'"
+            )
         self._method = memt_method
         self._level = charikar_level
         self._reduce = reduce
+        self._backend = backend
         #: multicast terminal subset; None = broadcast (the paper's case)
         self._targets = tuple(targets) if targets is not None else None
 
@@ -92,14 +105,20 @@ class EEDCB(Scheduler):
             with obs.stage(stage_seconds, "dts", "eedcb.dts"):
                 dts = build_dts(tveg.tvg, deadline)
             with obs.stage(stage_seconds, "auxgraph", "eedcb.auxgraph"):
-                aux = build_aux_graph(
+                builder = (
+                    build_compact_aux_graph
+                    if self._backend == "compact"
+                    else build_aux_graph
+                )
+                aux = builder(
                     tveg, source, deadline, dts, targets=self._targets
                 )
+                solver_graph = aux if self._backend == "compact" else aux.graph
             with obs.stage(
                 stage_seconds, "steiner", "eedcb.steiner", method=self._method
             ):
                 edges = solve_memt(
-                    aux.graph,
+                    solver_graph,
                     aux.root,
                     aux.terminals,
                     method=self._method,
@@ -128,9 +147,10 @@ class EEDCB(Scheduler):
                 "dts_points": dts.total_points(),
                 "dcs_levels": aux.dcs_levels,
                 "steiner_expansions": steiner_stats.get("expansions", 0),
-                "tree_cost": tree_cost(aux.graph, edges),
+                "tree_cost": tree_cost(solver_graph, edges),
                 "raw_cost": raw_cost,
                 "memt_method": self._method,
+                "backend": self._backend,
                 "stage_seconds": stage_seconds,
             },
         )

@@ -46,8 +46,11 @@ class FREEDCB(Scheduler):
         charikar_level: int = 2,
         use_slsqp: bool = True,
         targets=None,
+        backend: str = "compact",
     ):
-        self._backbone = EEDCB(memt_method, charikar_level, targets=targets)
+        self._backbone = EEDCB(
+            memt_method, charikar_level, targets=targets, backend=backend
+        )
         self._use_slsqp = use_slsqp
         self._targets = tuple(targets) if targets is not None else None
 

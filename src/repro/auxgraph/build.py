@@ -20,6 +20,7 @@ first state node with the terminals ``D = {u_{i, last}}``.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
@@ -28,7 +29,7 @@ import networkx as nx
 from .. import obs
 from ..dts.dts import DiscreteTimeSet, build_dts
 from ..errors import GraphModelError
-from ..tveg.costsets import DiscreteCostSet, discrete_cost_set
+from ..tveg.costsets import DiscreteCostSet, discrete_cost_sets
 from ..tveg.graph import TVEG
 from .model import AuxNode, state_node, tx_node
 
@@ -83,9 +84,7 @@ def _point_index(points: Tuple[float, ...], t: float) -> Optional[int]:
     the receiver — sub-nanosecond time travel that produced causally
     impossible schedules (found by the hypothesis suite).
     """
-    import bisect
-
-    i = bisect.bisect_left(points, t)
+    i = bisect_left(points, t)
     if i < len(points) and points[i] == t:
         return i
     return None
@@ -128,13 +127,15 @@ def build_aux_graph(
         for l in range(len(pts) - 1):
             g.add_edge(state_node(node, l), state_node(node, l + 1), weight=0.0)
 
-    # Transmission and coverage edges.
+    # Transmission and coverage edges.  The DCS at every point of one node
+    # comes from a single timeline sweep (see repro.tveg.costsets).
     for node in tveg.nodes:
         pts = d.points(node)
+        all_dcs = discrete_cost_sets(tveg, node, pts)
         for l, t in enumerate(pts):
             if t + tau > end:
                 continue  # transmission could not complete by the deadline
-            dcs = discrete_cost_set(tveg, node, t)
+            dcs = all_dcs[l]
             if dcs.is_empty:
                 continue
             t_recv = t + tau

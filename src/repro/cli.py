@@ -132,6 +132,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--source", type=int, default=None,
                    help="default: first broadcast-feasible node")
     c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--backend", choices=("compact", "nx"), default=None,
+                   help="auxiliary-graph backend for eedcb/fr-eedcb "
+                   "(default: compact)")
     c.add_argument("--save", default=None,
                    help="also write the schedule to this CSV file")
     _add_obs_flags(c)
@@ -148,6 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
         src_parser.add_argument("--source", type=int, default=None)
         src_parser.add_argument("--seed", type=int, default=0)
     m.add_argument("--trials", type=int, default=300)
+    m.add_argument("--workers", type=int, default=1,
+                   help="Monte-Carlo worker processes (1 = serial, -1 = one "
+                   "per CPU); results are bit-identical for any value")
+    m.add_argument("--backend", choices=("compact", "nx"), default=None,
+                   help="auxiliary-graph backend for eedcb/fr-eedcb "
+                   "(default: compact)")
     m.add_argument("--schedule-file", default=None,
                    help="simulate this saved schedule instead of rescheduling")
     _add_obs_flags(m)
@@ -159,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--trials", type=int, default=100)
     e.add_argument("--nodes", type=int, default=20)
     e.add_argument("--seed", type=int, default=2015)
+    e.add_argument("--workers", type=int, default=1,
+                   help="Monte-Carlo worker processes (1 = serial, -1 = one "
+                   "per CPU); results are bit-identical for any value")
     e.add_argument("--csv-dir", default=None,
                    help="also write each panel as CSV into this directory "
                    "(plus a manifest.json)")
@@ -182,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--tolerance", type=float, default=0.25,
                    help="fractional p50/counter regression tolerance "
                    "(default 0.25)")
+    b.add_argument("--backend", choices=("compact", "nx"), default="compact",
+                   help="auxiliary-graph backend for the scheduler ops "
+                   "(default: compact)")
+    b.add_argument("--strict-ops", action="store_true",
+                   help="fail the gate when a tier-1 op present in the "
+                   "baseline is missing from this run")
     b.add_argument("--write-baseline", action="store_true",
                    help="write the result as the new baseline instead of "
                    "gating")
@@ -217,6 +235,9 @@ def _prepare(args):
             )
         source = feasible[0]
     kwargs = {"seed": args.seed} if "rand" in args.algorithm else {}
+    backend = getattr(args, "backend", None)
+    if backend and args.algorithm in ("eedcb", "fr-eedcb"):
+        kwargs["backend"] = backend
     scheduler = make_scheduler(args.algorithm, **kwargs)
     return tveg, source, scheduler
 
@@ -281,7 +302,7 @@ def _cmd_simulate(args) -> int:
         schedule = scheduler.schedule(tveg, source, args.delay)
     summary = run_trials(
         tveg, schedule, source, num_trials=args.trials, seed=args.seed,
-        count_scheduled_energy=True,
+        count_scheduled_energy=True, workers=args.workers,
     )
     lo, hi = summary.delivery_ci95()
     label = f"file:{args.schedule_file}" if args.schedule_file else args.algorithm
@@ -312,6 +333,7 @@ def _cmd_experiment(args) -> int:
         trials=args.trials,
         num_nodes=args.nodes,
         seed=args.seed,
+        workers=args.workers,
     )
     if args.figure == "fig4":
         panels = [run_fig4(ch, config) for ch in ("static", "rayleigh")]
@@ -347,7 +369,7 @@ def _cmd_bench(args) -> int:
     old_ledger = obs.set_ledger(None)
     try:
         doc = bench.run_bench(quick=args.quick, repeats=args.repeats,
-                              num_nodes=args.nodes)
+                              num_nodes=args.nodes, backend=args.backend)
     finally:
         obs.set_ledger(old_ledger)
     frac = doc["overhead"]["estimated_fraction_of_eedcb"]
@@ -371,8 +393,14 @@ def _cmd_bench(args) -> int:
         print(f"# no baseline at {args.baseline}; gate skipped "
               "(create one with --write-baseline)", file=sys.stderr)
         return 0
-    problems = bench.compare(doc, bench.read_bench(args.baseline),
-                             tolerance=args.tolerance)
+    baseline = bench.read_bench(args.baseline)
+    age = bench.baseline_staleness(baseline)
+    if age is not None and age > bench.STALE_BASELINE_COMMITS:
+        print(f"# warning: baseline {args.baseline} is {age} commits behind "
+              f"HEAD (> {bench.STALE_BASELINE_COMMITS}); consider "
+              "--write-baseline", file=sys.stderr)
+    problems = bench.compare(doc, baseline, tolerance=args.tolerance,
+                             strict_missing=args.strict_ops)
     if problems:
         for p in problems:
             print(f"REGRESSION: {p}", file=sys.stderr)

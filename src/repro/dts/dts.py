@@ -90,23 +90,32 @@ def build_dts(
     for node in tvg.nodes:
         pts = set(adjacent[node].points)
         pts.update(p for p in stat if p <= end)
+        ordered = sorted(pts)
         if prune:
             # Keep a point iff the node could act there: transmit (it has a
             # neighbor at t) or receive (some neighbor transmitted at t − τ;
             # for τ = 0 the two coincide).  Span endpoints always stay.
+            # Both predicates are answered by forward sweeps over the node's
+            # contact boundaries — the candidate points are sorted, so one
+            # pass replaces a per-point interval scan.
             tau = tvg.tau
-
-            def useful(t: float) -> bool:
-                if t in (0.0, end):
-                    return True
-                if tvg.neighbors(node, t):
-                    return True
-                return tau > 0.0 and bool(tvg.neighbors(node, t - tau))
-
-            kept = {t for t in pts if useful(t)}
+            tx_sweep = tvg.sweep(node)
+            rx_sweep = tvg.sweep(node) if tau > 0.0 else None
+            kept = []
+            for t in ordered:
+                if (
+                    t in (0.0, end)
+                    or tx_sweep.advance(t)
+                    or (rx_sweep is not None and rx_sweep.advance(t - tau))
+                ):
+                    kept.append(t)
+            tx_sweep.finish()
+            if rx_sweep is not None:
+                rx_sweep.finish()
         else:
-            kept = pts
-        kept.add(0.0)
-        kept.add(end)
-        partitions[node] = Partition(sorted(kept))
+            kept = ordered
+        final = set(kept)
+        final.add(0.0)
+        final.add(end)
+        partitions[node] = Partition(sorted(final))
     return DiscreteTimeSet(partitions=partitions, deadline=end, tau=tvg.tau)

@@ -35,6 +35,9 @@ class ExperimentConfig:
     max_sample_attempts: int = 25
     #: master seed; every derived stream is spawned from it
     seed: int = 2015  # the paper's year — an arbitrary but memorable default
+    #: Monte-Carlo worker processes (1 = serial; -1 = one per CPU); results
+    #: are bit-identical for any value (see repro.parallel)
+    workers: int = 1
 
     def with_(self, **changes) -> "ExperimentConfig":
         return replace(self, **changes)

@@ -163,6 +163,7 @@ def evaluate_algorithm(
             num_trials=config.trials,
             seed=sim_seed,
             count_scheduled_energy=True,
+            workers=config.workers,
         )
     obs.counter("experiment.evaluations")
     return AlgorithmOutcome(

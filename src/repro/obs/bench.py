@@ -36,8 +36,10 @@ from .metrics import percentile
 __all__ = [
     "BENCH_SCHEMA",
     "TIER1_OPS",
+    "STALE_BASELINE_COMMITS",
     "run_bench",
     "compare",
+    "baseline_staleness",
     "write_bench",
     "read_bench",
     "bench_filename",
@@ -50,6 +52,7 @@ BENCH_SCHEMA = "repro.bench/1"
 TIER1_OPS = (
     "dts_build",
     "aux_graph_build",
+    "aux_compact_build",
     "steiner_solve",
     "eedcb_run",
     "fr_eedcb_run",
@@ -106,11 +109,20 @@ def _build_instance(num_nodes: int, delay: float, seed: int):
 
 
 def _ops(
-    static, fading, source, delay: float, trials: int
+    static, fading, source, delay: float, trials: int,
+    backend: str = "compact",
 ) -> List[Tuple[str, Callable[[], Optional[Dict[str, float]]]]]:
-    """(name, thunk) pairs; a thunk may return a counters dict."""
+    """(name, thunk) pairs; a thunk may return a counters dict.
+
+    ``backend`` selects the auxiliary-graph representation the scheduler
+    ops (``eedcb_run`` / ``fr_eedcb_run``) run on; both backends report
+    identical work counters, which CI cross-checks.  The aux-build and
+    scheduler ops clear the TVEG's DCS/cost caches before each repeat so
+    every timing is a cold build — otherwise the first op to run would warm
+    the memo for the rest and the numbers would depend on suite order.
+    """
     from ..algorithms import make_scheduler
-    from ..auxgraph import build_aux_graph
+    from ..auxgraph import build_aux_graph, build_compact_aux_graph
     from ..dts import build_dts
     from ..schedule import check_feasibility
     from ..sim import run_trials
@@ -126,7 +138,13 @@ def _ops(
         return {"dts_points": float(d.total_points())}
 
     def aux_graph_build():
+        static.clear_caches()
         a = build_aux_graph(static, source, delay, dts)
+        return {"aux_nodes": float(a.num_nodes), "aux_edges": float(a.num_edges)}
+
+    def aux_compact_build():
+        static.clear_caches()
+        a = build_compact_aux_graph(static, source, delay, dts)
         return {"aux_nodes": float(a.num_nodes), "aux_edges": float(a.num_edges)}
 
     def steiner_solve():
@@ -136,16 +154,27 @@ def _ops(
         return {"steiner_expansions": float(stats.get("expansions", 0))}
 
     def eedcb_run():
-        info = make_scheduler("eedcb").run(static, source, delay).info
+        static.clear_caches()
+        info = make_scheduler(
+            "eedcb", backend=backend
+        ).run(static, source, delay).info
         return {"steiner_expansions": float(info["steiner_expansions"])}
 
     def fr_eedcb_run():
-        info = make_scheduler("fr-eedcb").run(fading, source, delay).info
+        fading.clear_caches()
+        info = make_scheduler(
+            "fr-eedcb", backend=backend
+        ).run(fading, source, delay).info
         return {"nlp_iterations": float(info["nlp_iterations"])}
 
     def monte_carlo():
         run_trials(static, schedule, source, num_trials=trials, seed=1)
         return {"trials": float(trials)}
+
+    def monte_carlo_parallel():
+        run_trials(static, schedule, source, num_trials=trials, seed=1,
+                   workers=2)
+        return {"trials": float(trials), "workers": 2.0}
 
     def temporal_dijkstra():
         arr = earliest_arrivals(static.tvg, source)
@@ -159,10 +188,12 @@ def _ops(
     return [
         ("dts_build", dts_build),
         ("aux_graph_build", aux_graph_build),
+        ("aux_compact_build", aux_compact_build),
         ("steiner_solve", steiner_solve),
         ("eedcb_run", eedcb_run),
         ("fr_eedcb_run", fr_eedcb_run),
         ("monte_carlo", monte_carlo),
+        ("monte_carlo_parallel", monte_carlo_parallel),
         ("temporal_dijkstra", temporal_dijkstra),
         ("feasibility_check", feasibility_check),
     ]
@@ -216,12 +247,14 @@ def run_bench(
     repeats: Optional[int] = None,
     num_nodes: Optional[int] = None,
     seed: int = 99,
+    backend: str = "compact",
 ) -> Dict[str, Any]:
     """Run the suite; returns the bench document (see :data:`BENCH_SCHEMA`).
 
     ``quick`` shrinks the instance and repeat count for CI smoke runs.
-    Instrumentation is forced off during timing so the numbers reflect the
-    shipped default configuration.
+    ``backend`` selects the auxiliary-graph representation for the
+    scheduler ops.  Instrumentation is forced off during timing so the
+    numbers reflect the shipped default configuration.
     """
     from .tracer import is_enabled
 
@@ -238,7 +271,7 @@ def run_bench(
 
     results: Dict[str, Any] = {}
     eedcb_thunk = None
-    for name, thunk in _ops(static, fading, source, delay, trials):
+    for name, thunk in _ops(static, fading, source, delay, trials, backend):
         if name == "eedcb_run":
             eedcb_thunk = thunk
         times: List[float] = []
@@ -264,9 +297,11 @@ def run_bench(
         "schema": BENCH_SCHEMA,
         "quick": quick,
         "calibration_ms": _calibrate(),
+        "backend": backend,
         "manifest": run_manifest(
             config={"num_nodes": n, "delay": delay, "trials": trials,
-                    "repeats": r, "seed": seed, "quick": quick},
+                    "repeats": r, "seed": seed, "quick": quick,
+                    "backend": backend},
         ),
         "results": results,
         "overhead": overhead,
@@ -277,6 +312,7 @@ def compare(
     current: Mapping[str, Any],
     baseline: Mapping[str, Any],
     tolerance: float = 0.25,
+    strict_missing: bool = False,
 ) -> List[str]:
     """Regression messages for tier-1 ops; empty means the gate passes.
 
@@ -285,9 +321,12 @@ def compare(
     are compared by their per-suite *minimum* (the robust estimator under
     background load), normalized by each suite's interpreter calibration
     (see :func:`_calibrate`) so machine speed and transient slowdown cancel
-    out.  Ops missing from either side are skipped (the suites may differ
-    across versions); a shrunken-instance (quick) run is only compared
-    against a quick baseline.
+    out.  By default ops missing from either side are skipped (the suites
+    may differ across versions); ``strict_missing`` instead reports every
+    baseline tier-1 op absent from the current run — a silently dropped op
+    is a gate hole, not a pass — which is how :mod:`benchmarks.regress`
+    runs it.  A shrunken-instance (quick) run is only compared against a
+    quick baseline.
     """
     problems: List[str] = []
     if current.get("quick") != baseline.get("quick"):
@@ -301,6 +340,15 @@ def compare(
     # suite predates calibration.
     scale = cur_cal / base_cal if cur_cal > 0 and base_cal > 0 else 1.0
     base_results = baseline.get("results", {})
+    if strict_missing:
+        cur_results = current.get("results", {})
+        for op, base in base_results.items():
+            if base.get("tier1") and op not in cur_results:
+                problems.append(
+                    f"{op}: tier-1 op in the baseline but missing from this "
+                    "run (suite shrank; regenerate the baseline if "
+                    "intentional)"
+                )
     for op, cur in current.get("results", {}).items():
         if not cur.get("tier1"):
             continue
@@ -326,6 +374,37 @@ def compare(
                         f"(+{(cc / bc - 1.0) * 100:.0f}%)"
                     )
     return problems
+
+
+#: baseline age (commits behind HEAD) past which ``repro bench`` warns
+STALE_BASELINE_COMMITS = 20
+
+
+def baseline_staleness(baseline: Mapping[str, Any]) -> Optional[int]:
+    """How many commits HEAD is ahead of the baseline's recorded git SHA.
+
+    ``None`` when the age cannot be determined — no recorded SHA, not a git
+    checkout, or the SHA is unknown to this clone (e.g. a shallow CI
+    checkout); staleness is a hint, never a gate failure.
+    """
+    import subprocess
+
+    sha = (baseline.get("manifest") or {}).get("git_sha")
+    if not sha:
+        return None
+    try:
+        out = subprocess.run(
+            ["git", "rev-list", "--count", f"{sha}..HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    try:
+        return int(out.stdout.strip())
+    except ValueError:
+        return None
 
 
 def bench_filename(directory: str = ".") -> str:

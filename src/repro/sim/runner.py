@@ -2,19 +2,23 @@
 
 Aggregates delivery ratio and consumed energy over independent trials; each
 trial gets its own child generator so results do not depend on evaluation
-order (a property the determinism tests pin down).
+order (a property the determinism tests pin down).  That same property is
+what makes ``workers > 1`` safe: child seeds are derived up front with the
+exact stream :func:`repro.core.rng.spawn` draws, so a parallel run fills
+the result arrays with bit-for-bit the numbers the serial loop produces.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import obs
 from ..core.rng import SeedLike, as_generator, spawn
+from ..parallel import chunk_indices, derive_seeds, parallel_map, resolve_workers
 from ..schedule.schedule import Schedule
 from ..tveg.graph import TVEG
 from .simulator import TrialOutcome, simulate_schedule
@@ -49,6 +53,24 @@ class SimulationSummary:
         )
 
 
+def _simulate_chunk(
+    payload,
+) -> List[Tuple[float, float, int]]:
+    """Worker-process body: simulate one contiguous block of trials."""
+    (
+        tveg, schedule, source, seeds, start,
+        count_scheduled_energy, interference, n,
+    ) = payload
+    out = []
+    for j, s in enumerate(seeds):
+        res = simulate_schedule(
+            tveg, schedule, source, np.random.default_rng(s),
+            count_scheduled_energy, interference, trial_id=start + j,
+        )
+        out.append((res.delivery_ratio(n), res.energy, res.transmissions))
+    return out
+
+
 def run_trials(
     tveg: TVEG,
     schedule: Schedule,
@@ -57,25 +79,57 @@ def run_trials(
     seed: SeedLike = None,
     count_scheduled_energy: bool = False,
     interference: str = "none",
+    workers: Optional[int] = None,
 ) -> SimulationSummary:
-    """Run ``num_trials`` independent trials and aggregate the outcomes."""
-    rng = as_generator(seed)
-    children = spawn(rng, num_trials)
+    """Run ``num_trials`` independent trials and aggregate the outcomes.
+
+    ``workers > 1`` fans the trials out over that many processes.  Child
+    seeds are derived up front (:func:`repro.parallel.derive_seeds` draws
+    the exact stream ``spawn`` would), and results land in the arrays by
+    global trial index, so the summary is bit-for-bit identical to the
+    serial run for the same ``seed``.  When the obs ledger is recording,
+    the runner falls back to serial so no per-trial events are lost in
+    worker processes.
+    """
+    w = resolve_workers(workers)
+    if w > 1 and obs.ledger_enabled():
+        obs.counter("parallel.ledger_fallback")
+        w = 1
     deliveries = np.empty(num_trials)
     energies = np.empty(num_trials)
     txs = np.empty(num_trials)
     n = tveg.num_nodes
     with obs.span(
-        "sim.run_trials", trials=num_trials, transmissions=len(schedule)
+        "sim.run_trials", trials=num_trials, transmissions=len(schedule),
+        workers=w,
     ):
-        for i, child in enumerate(children):
-            out = simulate_schedule(
-                tveg, schedule, source, child, count_scheduled_energy,
-                interference, trial_id=i,
-            )
-            deliveries[i] = out.delivery_ratio(n)
-            energies[i] = out.energy
-            txs[i] = out.transmissions
+        if w > 1 and num_trials > 1:
+            seeds = derive_seeds(seed, num_trials)
+            payloads = [
+                (
+                    tveg, schedule, source, seeds[r.start:r.stop], r.start,
+                    count_scheduled_energy, interference, n,
+                )
+                for r in chunk_indices(num_trials, w)
+            ]
+            i = 0
+            for chunk in parallel_map(_simulate_chunk, payloads, workers=w):
+                for d, e, t in chunk:
+                    deliveries[i] = d
+                    energies[i] = e
+                    txs[i] = t
+                    i += 1
+        else:
+            rng = as_generator(seed)
+            children = spawn(rng, num_trials)
+            for i, child in enumerate(children):
+                out = simulate_schedule(
+                    tveg, schedule, source, child, count_scheduled_energy,
+                    interference, trial_id=i,
+                )
+                deliveries[i] = out.delivery_ratio(n)
+                energies[i] = out.energy
+                txs[i] = out.transmissions
     obs.counter("sim.trials", num_trials)
     return SimulationSummary(
         num_trials=num_trials,

@@ -17,6 +17,7 @@ Two solvers beyond the level-1 shortest-path tree:
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
@@ -32,7 +33,7 @@ Edge = Tuple[AuxNode, AuxNode]
 
 
 def greedy_incremental_dst(
-    graph: nx.DiGraph,
+    graph,
     root: AuxNode,
     terminals: Sequence[AuxNode],
     stats: Optional[Dict[str, int]] = None,
@@ -46,23 +47,42 @@ def greedy_incremental_dst(
     the usual lazy-deletion check and the total work stays near a single
     Dijkstra pass instead of one per terminal.
 
+    ``graph`` is either a weighted :class:`networkx.DiGraph` (indexed to
+    flat int adjacency once per call) or a
+    :class:`~repro.auxgraph.compact.CompactAuxGraph`, whose CSR arrays are
+    consumed natively with no re-indexing.  Both paths run the identical
+    search over identical node numbering, so they return identical trees.
+
     ``stats``, when given, receives ``expansions`` (settled heap pops) and
     ``grafts`` (paths attached to the tree) — the same numbers the obs
     counters ``steiner.expansions`` / ``steiner.grafts`` record.
     """
-    import heapq
+    from ..auxgraph.compact import CompactAuxGraph
 
-    # Index the graph once: tuple node keys → ints, adjacency as flat lists.
-    nodes = list(graph.nodes)
-    index = {n: i for i, n in enumerate(nodes)}
-    adj: List[List[Tuple[int, float]]] = [[] for _ in nodes]
-    for u, v, data in graph.edges(data=True):
-        adj[index[u]].append((index[v], float(data.get("weight", 0.0))))
+    if isinstance(graph, CompactAuxGraph):
+        nodes = graph.aux_nodes
+        indptr, tgt, wts = graph.indptr, graph.targets, graph.weights
+        root_i = (
+            graph.root_index if root == graph.root else graph.index_of(root)
+        )
+        if tuple(terminals) == graph.terminals:
+            uncovered = set(graph.terminal_indices)
+        else:
+            uncovered = {graph.index_of(t) for t in terminals if t != root}
+        adj: List = [None] * len(nodes)  # filled lazily from CSR below
+    else:
+        # Index the graph once: tuple keys → ints, adjacency as flat lists.
+        nodes = list(graph.nodes)
+        index = {n: i for i, n in enumerate(nodes)}
+        adj = [[] for _ in nodes]
+        for u, v, data in graph.edges(data=True):
+            adj[index[u]].append((index[v], float(data.get("weight", 0.0))))
+        indptr = tgt = wts = None
+        root_i = index[root]
+        uncovered = {index[t] for t in terminals if t != root}
+    uncovered.discard(root_i)
 
     n = len(nodes)
-    uncovered = {index[t] for t in terminals if t != root}
-    root_i = index[root]
-    uncovered.discard(root_i)
 
     INF = math.inf
     dist = [INF] * n
@@ -97,7 +117,11 @@ def greedy_incremental_dst(
             if u in uncovered:
                 target = u
                 break
-            for v, w in adj[u]:
+            row = adj[u]
+            if row is None:  # CSR path: materialize visited rows lazily
+                lo, hi = indptr[u], indptr[u + 1]
+                row = adj[u] = list(zip(tgt[lo:hi], wts[lo:hi]))
+            for v, w in row:
                 nd = d + w
                 if nd < dist[v]:
                     dist[v] = nd

@@ -35,7 +35,7 @@ MEMT_METHODS = ("greedy", "sptree", "charikar")
 
 
 def solve_memt(
-    graph: nx.DiGraph,
+    graph,
     root: AuxNode,
     terminals: Sequence[AuxNode],
     method: str = "greedy",
@@ -44,6 +44,12 @@ def solve_memt(
     stats: Optional[Dict[str, int]] = None,
 ) -> Set[Edge]:
     """Solve the MEMT instance and return the pruned Steiner edge set.
+
+    ``graph`` is a weighted :class:`networkx.DiGraph` or a
+    :class:`~repro.auxgraph.compact.CompactAuxGraph`.  The greedy solver
+    consumes the compact form natively; the networkx-based solvers
+    (``sptree``, ``charikar``) receive its lossless ``to_networkx()`` view,
+    so every method accepts every graph form and returns identical trees.
 
     ``stats``, when given, receives the solver's work counters (at least
     ``expansions``; the greedy solver adds ``grafts``) — the numbers the
@@ -59,10 +65,14 @@ def solve_memt(
         if method == "greedy":
             edges = greedy_incremental_dst(graph, root, terminals, stats=stats)
         elif method == "sptree":
+            if not isinstance(graph, nx.DiGraph):
+                graph = graph.to_networkx()
             edges = shortest_path_tree(graph, root, terminals)
             if stats is not None:
                 stats.setdefault("expansions", 0)
         elif method == "charikar":
+            if not isinstance(graph, nx.DiGraph):
+                graph = graph.to_networkx()
             edges = charikar_dst(
                 graph, root, terminals, level, max_candidates, stats=stats
             )

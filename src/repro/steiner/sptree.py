@@ -40,6 +40,8 @@ def shortest_path_tree(
     return edges
 
 
-def tree_cost(graph: nx.DiGraph, edges: Set[Edge]) -> float:
-    """Total weight of an edge set."""
-    return float(sum(graph[u][v]["weight"] for u, v in edges))
+def tree_cost(graph, edges: Set[Edge]) -> float:
+    """Total weight of an edge set (networkx or compact auxiliary graph)."""
+    if isinstance(graph, nx.DiGraph):
+        return float(sum(graph[u][v]["weight"] for u, v in edges))
+    return float(sum(graph.edge_weight(u, v) for u, v in edges))

@@ -81,6 +81,10 @@ class TVG:
         # Incident-edge index: node → other endpoints of its possible edges.
         # Keeps neighbor queries O(deg) instead of O(|E|).
         self._incident: Dict[Node, List[Node]] = {n: [] for n in self._nodes}
+        # Timeline-sweep support: per-node adjacency events (lazy, see
+        # adjacency_events) and a version stamp consumers key caches on.
+        self._events: Dict[Node, Tuple] = {}
+        self._version = 0
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -135,6 +139,7 @@ class TVG:
             self._incident[key[0]].append(key[1])
             self._incident[key[1]].append(key[0])
         self._presence[key] = clamped if existing is None else existing | clamped
+        self._invalidate(key)
 
     def set_presence(self, u: Node, v: Node, presence: IntervalSet) -> None:
         """Replace an edge's whole presence function at once."""
@@ -145,6 +150,13 @@ class TVG:
             self._incident[key[0]].append(key[1])
             self._incident[key[1]].append(key[0])
         self._presence[key] = presence.clamp(0.0, self._horizon)
+        self._invalidate(key)
+
+    def _invalidate(self, key: EdgeKey) -> None:
+        """Drop cached sweep events after a topology mutation."""
+        self._version += 1
+        self._events.pop(key[0], None)
+        self._events.pop(key[1], None)
 
     # ------------------------------------------------------------------
     # presence queries (ρ and ρ_τ of the paper)
@@ -188,6 +200,38 @@ class TVG:
     def degree(self, node: Node, t: float) -> int:
         """Instantaneous degree of ``node`` at time ``t``."""
         return len(self.neighbors(node, t))
+
+    # ------------------------------------------------------------------
+    # timeline sweeps (per-node event index)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every contact/presence change.
+
+        Consumers that cache derived structures (sweep events, DCS memos)
+        key them on this stamp to stay correct across mutation.
+        """
+        return self._version
+
+    def adjacency_events(self, node: Node) -> Tuple:
+        """The node's sorted adjacency-change events (cached until mutation).
+
+        See :func:`repro.temporal.sweep.adjacency_events` for the format.
+        """
+        self._check_node(node)
+        cached = self._events.get(node)
+        if cached is None:
+            from .sweep import adjacency_events
+
+            cached = adjacency_events(self, node)
+            self._events[node] = cached
+        return cached
+
+    def sweep(self, node: Node) -> "NodeSweep":
+        """A fresh forward sweep cursor over the node's contact boundaries."""
+        from .sweep import NodeSweep
+
+        return NodeSweep(self.adjacency_events(node))
 
     # ------------------------------------------------------------------
     # snapshots and events

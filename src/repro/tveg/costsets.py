@@ -1,24 +1,38 @@
 """Discrete cost sets (Section VI-A).
 
 At a time ``t`` a node ``v_i`` with ``m`` adjacent nodes has minimum costs
-``w¹ ≤ w² ≤ ... ≤ w^m`` to them; Proposition 6.1 shows an optimal schedule
+``w¹ ≤ w² ≤ ... ≤ w^m``; Proposition 6.1 shows an optimal schedule
 only ever transmits at one of these values, so the continuous cost set
 collapses to the *discrete cost set* ``W^di_{i,t} = {w¹, ..., w^m}``.
 Property 6.1(i) — the broadcast nature — says transmitting at ``w^k``
 informs every neighbor whose minimum cost is ≤ ``w^k``.
+
+Two query paths produce identical cost sets:
+
+* :func:`discrete_cost_set` — one (node, time) pair, via the TVEG's
+  point queries;
+* :func:`discrete_cost_sets` — one node at *many ascending* times, via a
+  single forward sweep over the node's contact boundaries
+  (:mod:`repro.temporal.sweep`) — the fast path the auxiliary-graph
+  builders use.
+
+Both share the TVEG's per-contact cost cache and memoize results on the
+TVEG (``(node, t)`` keyed), so the backbone stage, schedule extraction,
+and the reduction passes never recompute a DCS.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence, Tuple
+from typing import Hashable, Iterable, List, Sequence, Tuple
 
 from .. import obs
 from ..errors import ScheduleError
 from .graph import TVEG
 
-__all__ = ["DiscreteCostSet", "discrete_cost_set"]
+__all__ = ["DiscreteCostSet", "discrete_cost_set", "discrete_cost_sets"]
 
 Node = Hashable
 
@@ -61,18 +75,13 @@ class DiscreteCostSet:
         Raises :class:`ScheduleError` if ``w`` is below every level (the
         transmission would inform nobody).
         """
-        best = None
-        for c, _ in self.entries:
-            if c <= w:
-                best = c
-            else:
-                break
-        if best is None:
+        i = bisect_right(self.costs, w)
+        if i == 0:
             raise ScheduleError(
                 f"cost {w!r} is below the smallest DCS level of node "
                 f"{self.node!r} at t={self.time!r}"
             )
-        return best
+        return self.entries[i - 1][0]
 
     def cost_to_cover(self, targets: Iterable[Node]) -> float:
         """Smallest DCS level informing all ``targets``; ``inf`` if any
@@ -92,21 +101,98 @@ class DiscreteCostSet:
 
     def level_index(self, w: float) -> int:
         """Index ``k`` (0-based) of an exact DCS level ``w``."""
-        for k, (c, _) in enumerate(self.entries):
-            if c == w:
-                return k
+        costs = self.costs
+        k = bisect_left(costs, w)
+        if k < len(costs) and costs[k] == w:
+            return k
         raise ScheduleError(f"{w!r} is not a DCS level of node {self.node!r}")
 
 
-def discrete_cost_set(tveg: TVEG, node: Node, t: float) -> DiscreteCostSet:
-    """Compute the DCS of ``node`` at time ``t`` from the TVEG.
+def _sorted_entries(
+    raw: List[Tuple[float, Node]]
+) -> Tuple[Tuple[float, Node], ...]:
+    """Finite ``(cost, neighbor)`` pairs in the canonical DCS order."""
+    raw.sort(key=lambda item: (item[0], repr(item[1])))
+    return tuple((c, v) for c, v in raw if math.isfinite(c))
 
-    Neighbors whose backbone cost is infinite (should not happen for
-    adjacent links) are dropped defensively.
+
+def discrete_cost_set(tveg: TVEG, node: Node, t: float) -> DiscreteCostSet:
+    """Compute (or recall) the DCS of ``node`` at time ``t``.
+
+    Results are memoized on the TVEG keyed by the exact ``(node, t)`` pair;
+    repeated queries — schedule extraction, the reduction passes, the
+    FR-EEDCB backbone stage — hit the memo.  Neighbors whose backbone cost
+    is infinite (should not happen for adjacent links) are dropped
+    defensively.
     """
-    entries = tuple(
-        (c, v) for v, c in tveg.neighbor_costs(node, t) if math.isfinite(c)
+    memo = tveg.dcs_memo()
+    key = (node, t)
+    cached = memo.get(key)
+    if cached is not None:
+        obs.counter("tveg.dcs_memo_hits")
+        return cached
+    entries = _sorted_entries(
+        [(c, v) for v, c in tveg.neighbor_costs(node, t)]
     )
     obs.counter("tveg.dcs_built")
     obs.counter("tveg.dcs_levels", len(entries))
-    return DiscreteCostSet(node=node, time=t, entries=entries)
+    dcs = DiscreteCostSet(node=node, time=t, entries=entries)
+    memo[key] = dcs
+    return dcs
+
+
+def discrete_cost_sets(
+    tveg: TVEG, node: Node, times: Sequence[float]
+) -> List[DiscreteCostSet]:
+    """The DCS of ``node`` at every time in ascending ``times``.
+
+    One forward sweep over the node's contact boundaries answers all the
+    queries — ``O(points + events)`` instead of ``O(points × incident
+    edges)`` repeated interval scans.  Produces exactly the cost sets
+    :func:`discrete_cost_set` would (same costs, same ordering; the
+    per-contact cost cache is shared), and populates the same memo.
+    """
+    memo = tveg.dcs_memo()
+    out: List[DiscreteCostSet] = []
+    sweep = None
+    built = levels = 0
+    # When link costs are constant within contacts, the entries only change
+    # when the active set does — i.e. when the sweep applies an event.  Two
+    # consecutive computed points with no event between them share one
+    # entries tuple verbatim, skipping the cost lookups and the sort.
+    reusable = tveg.cost_cacheable
+    last_pos = -1
+    last_entries: Tuple[Tuple[float, Node], ...] = ()
+    for t in times:
+        key = (node, t)
+        cached = memo.get(key)
+        if cached is not None:
+            # The sweep (if any) simply skips this time; advance() applies
+            # all intervening events at the next miss.
+            obs.counter("tveg.dcs_memo_hits")
+            out.append(cached)
+            continue
+        if sweep is None:
+            sweep = tveg.tvg.sweep(node)
+        active = sweep.advance(t)
+        if reusable and sweep.position == last_pos:
+            entries = last_entries
+        else:
+            entries = _sorted_entries(
+                [
+                    (tveg.contact_cost(node, other, t, start), other)
+                    for other, start in active.items()
+                ]
+            )
+            last_pos, last_entries = sweep.position, entries
+        dcs = DiscreteCostSet(node=node, time=t, entries=entries)
+        memo[key] = dcs
+        out.append(dcs)
+        built += 1
+        levels += len(entries)
+    if sweep is not None:
+        sweep.finish()
+    if built:
+        obs.counter("tveg.dcs_built", built)
+        obs.counter("tveg.dcs_levels", levels)
+    return out

@@ -18,7 +18,7 @@ from ..channels.base import AbsentED, EDFunction
 from ..channels.models import ChannelModel
 from ..errors import GraphModelError
 from ..params import PhyParams
-from ..temporal.tvg import TVG
+from ..temporal.tvg import TVG, edge_key
 
 __all__ = ["TVEG", "DistanceProvider"]
 
@@ -58,6 +58,12 @@ class TVEG:
             getattr(distances, "constant_within_contacts", False)
         )
         self._cost_cache: dict = {}
+        # DCS memo: (node, t) → DiscreteCostSet, valid for one TVG version.
+        # Populated by repro.tveg.costsets (single queries and batch sweeps)
+        # so the backbone stage, extraction, and reduction passes share one
+        # computation per (node, point).
+        self._dcs_memo: dict = {}
+        self._dcs_memo_version = tvg.version
 
     # ------------------------------------------------------------------
     # passthrough topology accessors
@@ -122,8 +128,6 @@ class TVEG:
         """Backbone cost of an adjacent link, with per-contact caching."""
         if not self._cost_cacheable:
             return self._channel.backbone_weight(self.distance(u, v, t))
-        from ..temporal.tvg import edge_key
-
         key = edge_key(u, v)
         start = self._tvg.presence(u, v).interval_at(t).start
         cached = self._cost_cache.get((key, start))
@@ -142,6 +146,54 @@ class TVEG:
         if not self.adjacent(u, v, t):
             return math.inf
         return self._backbone_weight_at(u, v, t)
+
+    def dcs_memo(self) -> dict:
+        """The live ``(node, t) → DiscreteCostSet`` memo (version-checked).
+
+        Accessing the memo after the underlying TVG mutated clears it, so
+        stale cost sets are never served.  The cost cache is dropped with it
+        (its contact keys may no longer exist).
+        """
+        if self._dcs_memo_version != self._tvg.version:
+            self._dcs_memo.clear()
+            self._cost_cache.clear()
+            self._dcs_memo_version = self._tvg.version
+        return self._dcs_memo
+
+    @property
+    def cost_cacheable(self) -> bool:
+        """True when link costs are constant within each contact, so
+        per-contact caching (and DCS reuse across event-free gaps) is
+        sound."""
+        return self._cost_cacheable
+
+    def clear_caches(self) -> None:
+        """Drop the DCS memo and per-contact cost cache.
+
+        Results are unaffected (the caches are pure memoization); used by
+        the benchmark suite to time cold builds.
+        """
+        self._dcs_memo.clear()
+        self._cost_cache.clear()
+
+    def contact_cost(self, node: Node, other: Node, t: float,
+                     contact_start: float) -> float:
+        """Backbone cost of a link known (by the sweep) to be in contact.
+
+        Shares :attr:`_cost_cache` with the point-query path — keyed by the
+        same ``(edge, presence-interval start)`` — so sweep-computed and
+        point-computed costs are the same float objects bit-for-bit.
+        """
+        if not self._cost_cacheable:
+            return self._channel.backbone_weight(self.distance(node, other, t))
+        key = (edge_key(node, other), contact_start)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            cached = self._channel.backbone_weight(
+                self.distance(node, other, t)
+            )
+            self._cost_cache[key] = cached
+        return cached
 
     def neighbor_costs(self, node: Node, t: float) -> List[Tuple[Node, float]]:
         """``(neighbor, backbone cost)`` for all nodes adjacent at ``t``,

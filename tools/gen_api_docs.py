@@ -28,6 +28,7 @@ SUBPACKAGES = [
     "repro.allocation",
     "repro.algorithms",
     "repro.sim",
+    "repro.parallel",
     "repro.online",
     "repro.traces",
     "repro.mobility",
