@@ -1,11 +1,11 @@
 """High-level one-call broadcast planning.
 
 :func:`plan_broadcast` collapses the standard five-step pipeline —
-``restrict_window → shift → tveg_from_trace → make_scheduler → schedule`` —
-into a single call, and :class:`BroadcastPlan` bundles everything a caller
-usually wants afterwards: the schedule, the Section IV feasibility report,
-the solver's standardized ``info`` metadata, the TVEG the plan was computed
-on, and (when tracing is enabled) an observability snapshot.
+``restrict_window → shift → tveg_from_trace → make_scheduler → schedule``
+— into a single call, and :class:`BroadcastPlan` bundles everything a
+caller usually wants afterwards: the schedule, the Section IV feasibility
+report, the solver's standardized ``info`` metadata, the TVEG the plan was
+computed on, and (when tracing is enabled) an observability snapshot.
 
 Example::
 
@@ -15,13 +15,29 @@ Example::
     plan = plan_broadcast(trace, None, 2000.0,
                           algorithm="eedcb", window=(9000.0, 11000.0), seed=7)
     print(plan.feasible, plan.total_cost, plan.info["aux_nodes"])
+
+Every plan carries a reproducibility manifest whose ``config_hash``
+content-addresses the *problem instance*: the canonical hash covers the
+algorithm, channel, deadline, window, scheduler kwargs, seed, physical
+parameters, and the content fingerprint of the trace or TVEG.  Pass a
+:class:`repro.service.PlanCache` as ``cache=`` and identical calls are
+answered from that cache instead of recomputed::
+
+    from repro.service import PlanCache
+
+    cache = PlanCache(capacity=256, disk_dir="~/.cache/repro-plans")
+    plan = plan_broadcast(trace, None, 2000.0, window=9000.0, seed=7,
+                          cache=cache)          # computed
+    again = plan_broadcast(trace, None, 2000.0, window=9000.0, seed=7,
+                           cache=cache)         # served from cache
+    assert again.schedule == plan.schedule
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Tuple, Union
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple, Union
 
 from . import obs
 from .algorithms.base import canonical_scheduler_name, make_scheduler
@@ -36,7 +52,7 @@ from .traces.model import ContactTrace
 from .tveg.builders import tveg_from_trace
 from .tveg.graph import TVEG
 
-__all__ = ["BroadcastPlan", "plan_broadcast"]
+__all__ = ["BroadcastPlan", "plan_broadcast", "plan_config", "plan_cache_key"]
 
 Node = Hashable
 Window = Union[float, Tuple[float, float]]
@@ -99,6 +115,82 @@ def _window_bounds(window: Window, deadline: float) -> Tuple[float, float]:
     return float(start), float(end)
 
 
+def plan_config(
+    trace_or_tveg: Union[ContactTrace, TVEG],
+    source: Optional[Node],
+    deadline: float,
+    *,
+    algorithm: str = "eedcb",
+    channel: Union[str, ChannelModel] = "static",
+    window: Optional[Window] = None,
+    seed=None,
+    params: PhyParams = PAPER_PARAMS,
+    **scheduler_kwargs,
+) -> Dict[str, Any]:
+    """The canonical configuration of one :func:`plan_broadcast` call.
+
+    This dict *is* the problem's identity: hashed by
+    :func:`repro.obs.config_hash` it yields the plan's
+    ``manifest["config_hash"]``, the content address the plan cache and
+    the planning service key on.  Two calls produce the same hash exactly
+    when they would produce the same plan — the fingerprint field covers
+    the trace's (or TVEG's) full content, so a different trace can never
+    alias a cached plan.
+
+    ``source=None`` (auto-pick) is part of the identity as-is; the pick is
+    deterministic, so the key remains sound without resolving it here (and
+    the hit path never has to build a graph to find out).
+    """
+    algo = canonical_scheduler_name(algorithm)
+    if isinstance(trace_or_tveg, TVEG):
+        if window is not None:
+            raise GraphModelError(
+                "window applies to contact traces; restrict/shift the trace "
+                "before building a TVEG"
+            )
+        fingerprint = trace_or_tveg.fingerprint()
+        channel_label = type(trace_or_tveg.channel).__name__
+        eff_params = trace_or_tveg.params
+    elif isinstance(trace_or_tveg, ContactTrace):
+        fingerprint = trace_or_tveg.fingerprint()
+        channel_label = (
+            channel if isinstance(channel, str) else type(channel).__name__
+        )
+        eff_params = params
+    else:
+        raise TypeError(
+            f"expected a ContactTrace or TVEG, got {type(trace_or_tveg).__name__}"
+        )
+    kwargs = dict(scheduler_kwargs)
+    if "rand" in algo and "seed" not in kwargs:
+        kwargs["seed"] = seed
+    return {
+        "algorithm": algo,
+        "channel": channel_label,
+        "source": source,
+        "deadline": float(deadline),
+        "window": window,
+        "scheduler_kwargs": kwargs,
+        "seed": seed,
+        "params": asdict(eff_params),
+        "instance": fingerprint,
+    }
+
+
+def plan_cache_key(
+    trace_or_tveg: Union[ContactTrace, TVEG],
+    source: Optional[Node],
+    deadline: float,
+    **kwargs,
+) -> str:
+    """The content-address a :func:`plan_broadcast` call caches under.
+
+    Equals ``plan.manifest["config_hash"]`` of the plan the same arguments
+    produce.  The planning service's batcher keys request dedup on it.
+    """
+    return obs.config_hash(plan_config(trace_or_tveg, source, deadline, **kwargs))
+
+
 def plan_broadcast(
     trace_or_tveg: Union[ContactTrace, TVEG],
     source: Optional[Node],
@@ -109,6 +201,7 @@ def plan_broadcast(
     window: Optional[Window] = None,
     seed=None,
     params: PhyParams = PAPER_PARAMS,
+    cache=None,
     **scheduler_kwargs,
 ) -> BroadcastPlan:
     """Plan one energy-efficient delay-constrained broadcast in a single call.
@@ -145,6 +238,12 @@ def plan_broadcast(
         schedulers' relay choices, unless ``scheduler_kwargs`` overrides).
     params:
         Physical-layer parameters (defaults to the paper's).
+    cache:
+        Optional :class:`repro.service.PlanCache`.  The call is keyed by
+        its :func:`plan_cache_key`; a hit replays the stored plan —
+        byte-identical schedule, cost, and info — without touching a
+        scheduler (a memory hit builds no graph at all), a miss computes
+        normally and stores the result.
     scheduler_kwargs:
         Extra constructor arguments forwarded to the scheduler (e.g.
         ``memt_method="charikar"``).
@@ -152,31 +251,32 @@ def plan_broadcast(
     Returns a :class:`BroadcastPlan`; the plan's ``obs`` field holds a
     trace snapshot when ``repro.obs`` tracing is enabled, else ``None``.
     """
-    algo = canonical_scheduler_name(algorithm)
+    config = plan_config(
+        trace_or_tveg, source, deadline,
+        algorithm=algorithm, channel=channel, window=window, seed=seed,
+        params=params, **scheduler_kwargs,
+    )
+    algo = config["algorithm"]
+    channel_label = config["channel"]
+    scheduler_kwargs = dict(config["scheduler_kwargs"])
+    deadline = float(deadline)
 
-    if isinstance(trace_or_tveg, TVEG):
-        if window is not None:
-            raise GraphModelError(
-                "window applies to contact traces; restrict/shift the trace "
-                "before building a TVEG"
-            )
-        tveg = trace_or_tveg
-        channel_label = type(tveg.channel).__name__
-    elif isinstance(trace_or_tveg, ContactTrace):
+    def build_tveg() -> TVEG:
+        if isinstance(trace_or_tveg, TVEG):
+            return trace_or_tveg
         trace = trace_or_tveg
         if window is not None:
             start, end = _window_bounds(window, deadline)
             trace = trace.restrict_window(start, end).shift(-start)
-        tveg = tveg_from_trace(trace, channel, params=params, seed=seed)
-        channel_label = (
-            channel if isinstance(channel, str) else type(channel).__name__
-        )
-    else:
-        raise TypeError(
-            f"expected a ContactTrace or TVEG, got {type(trace_or_tveg).__name__}"
-        )
+        return tveg_from_trace(trace, channel, params=params, seed=seed)
 
-    deadline = float(deadline)
+    key = obs.config_hash(config)
+    if cache is not None:
+        hit = cache.lookup(key, build_tveg)
+        if hit is not None:
+            return hit
+
+    tveg = build_tveg()
     if source is None:
         feasible = sorted(broadcast_feasible_sources(tveg.tvg, 0.0, deadline))
         if not feasible:
@@ -186,8 +286,6 @@ def plan_broadcast(
             )
         source = feasible[0]
 
-    if "rand" in algo and "seed" not in scheduler_kwargs:
-        scheduler_kwargs["seed"] = seed
     scheduler = make_scheduler(algo, **scheduler_kwargs)
 
     t0 = time.perf_counter()
@@ -198,18 +296,12 @@ def plan_broadcast(
         )
 
     manifest = obs.run_manifest(
-        config={
-            "algorithm": algo,
-            "channel": channel_label,
-            "source": source,
-            "deadline": deadline,
-            "window": window,
-            "scheduler_kwargs": scheduler_kwargs,
-        },
+        config=config,
         seed=seed,
         wall_seconds=time.perf_counter() - t0,
+        resolved_source=source,
     )
-    return BroadcastPlan(
+    plan = BroadcastPlan(
         schedule=result.schedule,
         feasibility=report,
         tveg=tveg,
@@ -221,3 +313,6 @@ def plan_broadcast(
         obs=obs.snapshot() if obs.is_enabled() else None,
         manifest=manifest,
     )
+    if cache is not None:
+        cache.put(key, plan)
+    return plan

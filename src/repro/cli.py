@@ -9,7 +9,9 @@ writing Python:
 * ``simulate``   — Monte-Carlo a schedule produced by a scheduler;
 * ``experiment`` — regenerate one of the paper's figures (4–7);
 * ``bench``      — micro-benchmarks with a committed-baseline regression gate;
-* ``report``     — render a recorded run ledger as a self-contained HTML page.
+* ``report``     — render a recorded run ledger as a self-contained HTML page;
+* ``serve``      — run the HTTP planning service (plan cache + batch queue);
+* ``cache``      — inspect or clear a persistent plan-cache directory.
 
 Observability flags shared by the pipeline subcommands: ``--trace-out`` /
 ``--metrics-out`` (tracer exports), ``--ledger-out`` (typed domain events
@@ -211,6 +213,48 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("ledger", help="NDJSON file from --ledger-out")
     r.add_argument("-o", "--output", default="report.html",
                    help="output HTML path (default: report.html)")
+
+    v = sub.add_parser(
+        "serve", parents=[common],
+        help="run the HTTP planning service (POST /plan, GET /healthz, "
+        "GET /metrics, GET /cache/stats)",
+    )
+    v.add_argument("traces", nargs="*", metavar="TRACE",
+                   help="trace files to host (CRAWDAD or CSV), addressable "
+                   "by file stem in requests")
+    v.add_argument("--synthetic", type=int, default=None, metavar="N",
+                   help="also host an N-node synthetic Haggle-like trace "
+                   "named 'synthetic' (default when no trace files given: "
+                   "20 nodes)")
+    v.add_argument("--host", default="127.0.0.1")
+    v.add_argument("--port", type=int, default=8437)
+    v.add_argument("--seed", type=int, default=0,
+                   help="seed for the synthetic trace")
+    v.add_argument("--workers", type=int, default=None,
+                   help="batch-executor threads (default: auto)")
+    v.add_argument("--max-queue", type=int, default=256,
+                   help="admission bound; requests past it get HTTP 429")
+    v.add_argument("--max-batch", type=int, default=32,
+                   help="most requests drained per batch flush")
+    v.add_argument("--max-wait", type=float, default=0.005,
+                   help="seconds a flush lingers for request coalescing")
+    v.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request seconds before HTTP 504")
+    v.add_argument("--cache-capacity", type=int, default=128,
+                   help="in-memory plan-cache entries")
+    v.add_argument("--cache-ttl", type=float, default=None,
+                   help="plan-cache expiry in seconds (default: none)")
+    v.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist plans to this directory (survives restarts)")
+
+    k = sub.add_parser(
+        "cache", parents=[common],
+        help="inspect or clear a persistent plan-cache directory",
+    )
+    k.add_argument("dir", help="plan-cache directory (from serve --cache-dir "
+                   "or PlanCache(disk_dir=...))")
+    k.add_argument("--clear", action="store_true",
+                   help="delete every cached plan instead of listing them")
     return parser
 
 
@@ -420,6 +464,85 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from .service import PlanCache, PlanningService, make_server
+
+    traces = {}
+    for path in args.traces:
+        traces[Path(path).stem] = load_trace(path)
+    synthetic = args.synthetic if args.synthetic is not None else (
+        20 if not traces else None
+    )
+    if synthetic is not None:
+        traces["synthetic"] = haggle_like_trace(
+            HaggleLikeConfig(num_nodes=synthetic), seed=args.seed
+        )
+
+    cache = PlanCache(
+        capacity=args.cache_capacity, ttl=args.cache_ttl,
+        disk_dir=args.cache_dir,
+    )
+    service = PlanningService(
+        traces, cache=cache, workers=args.workers, max_batch=args.max_batch,
+        max_wait=args.max_wait, max_queue=args.max_queue,
+        timeout=args.timeout,
+    )
+    srv = make_server(service, args.host, args.port)
+    if args.verbose or args.log_level:
+        srv.logger = logging.getLogger("repro.serve")
+    host, port = srv.server_address[:2]
+    print(f"# serving on http://{host}:{port}  "
+          f"(traces: {', '.join(service.trace_names())})")
+    print("# POST /plan | GET /healthz | GET /metrics | GET /cache/stats — "
+          "Ctrl-C to stop", flush=True)
+    try:
+        srv.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        srv.server_close()
+        service.close()
+        m = service.metrics()
+        print(f"\n# served {m['requests']} requests "
+              f"({m['errors']} errors, cache hit rate "
+              f"{m['cache']['hit_rate']:.0%})", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import os
+
+    from .schedule.io import read_plan_json
+    from .service import PlanCache
+
+    if not os.path.isdir(args.dir):
+        raise ReproError(f"not a cache directory: {args.dir}")
+    cache = PlanCache(disk_dir=args.dir)
+    keys = cache.disk_keys()
+    if args.clear:
+        n = cache.clear(disk=True)
+        print(f"# removed {n} cached plans from {args.dir}")
+        return 0
+    print(f"# {len(keys)} cached plans in {args.dir}")
+    if keys:
+        print(f"# {'key':16s}  {'algorithm':10s}  {'deadline':>9s}  "
+              f"{'relays':>6s}  {'energy':>10s}")
+    for key in keys:
+        try:
+            doc = read_plan_json(os.path.join(args.dir, key + ".json"))
+        except ReproError:
+            print(f"{key}  (unreadable)")
+            continue
+        cost = sum(row[2] for row in doc.get("schedule", []))
+        print(f"{key}  {doc.get('algorithm', '?'):10s}  "
+              f"{doc.get('deadline', float('nan')):9g}  "
+              f"{len(doc.get('schedule', [])):6d}  "
+              f"{PAPER_PARAMS.normalize_energy(cost):10.3f}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
@@ -428,6 +551,8 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "bench": _cmd_bench,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "cache": _cmd_cache,
 }
 
 #: args entries that are outputs/plumbing, not part of the run's identity

@@ -51,3 +51,16 @@ class SolverError(ReproError):
 
 class TraceFormatError(ReproError):
     """Raised when a contact-trace file cannot be parsed."""
+
+
+class ServiceOverloaded(ReproError):
+    """Raised when the planning service's admission control turns a request
+    away — the batch queue is at its bound (HTTP 429) or the request timed
+    out waiting for its result (HTTP 504)."""
+
+    def __init__(self, reason: str = "planning service overloaded",
+                 retry_after: float = 1.0):
+        super().__init__(reason)
+        self.reason = reason
+        #: suggested client backoff in seconds (the HTTP ``Retry-After``)
+        self.retry_after = retry_after

@@ -18,8 +18,9 @@ import numpy as np
 from ..core.rng import as_generator
 from .config import ExperimentConfig, FAST_CONFIG
 from .harness import (
+    EvalJob,
     default_trace,
-    evaluate_algorithm,
+    evaluate_many,
     mean_or_nan,
     sample_instance,
     sample_paired_starts,
@@ -60,23 +61,34 @@ def run_fig4(
         )
         for n in node_counts
     }
+    # Sampling draws from the experiment's random stream, so it stays
+    # serial; the (expensive) evaluations are deferred as jobs and run
+    # through evaluate_many — parallel across config.workers processes,
+    # bit-identical to the serial loop either way.
+    jobs, points = [], []
     for delay in delays:
-        row = {}
         for n in node_counts:
-            energies = []
             for t0 in starts[n]:
                 inst = sample_instance(
                     traces[n], config, rng, delay=delay, window_start=t0
                 )
                 if inst is None:
                     continue
-                out = evaluate_algorithm(
-                    algo, inst, config, int(rng.integers(2**31 - 1))
+                jobs.append(
+                    EvalJob.make(algo, inst, int(rng.integers(2**31 - 1)))
                 )
-                if out is not None:
-                    energies.append(out.normalized_energy)
-            row[f"N={n}"] = mean_or_nan(energies)
-        result.add_point(delay, row)
+                points.append((delay, n))
+    outcomes = evaluate_many(jobs, config)
+
+    energies = {(d, n): [] for d in delays for n in node_counts}
+    for point, out in zip(points, outcomes):
+        if out is not None:
+            energies[point].append(out.normalized_energy)
+    for delay in delays:
+        result.add_point(
+            delay,
+            {f"N={n}": mean_or_nan(energies[delay, n]) for n in node_counts},
+        )
     return result
 
 

@@ -11,14 +11,15 @@ random relay choice.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.rng import as_generator
 from .config import ExperimentConfig, FAST_CONFIG
 from .fig4 import DELAYS
 from .harness import (
+    EvalJob,
     default_trace,
-    evaluate_algorithm,
+    evaluate_many,
     mean_or_nan,
     sample_instance,
     sample_paired_starts,
@@ -49,8 +50,10 @@ def run_fig5(
     starts = sample_paired_starts(
         trace, config, rng, min(delays), max(delays), config.repetitions
     )
+    # Serial sampling (the rng stream is the reproducibility contract),
+    # deferred evaluation via evaluate_many (see fig4).
+    jobs, points = [], []
     for delay in delays:
-        energies: Dict[str, List[float]] = {a: [] for a in algos}
         for t0 in starts:
             inst = sample_instance(trace, config, rng, delay=delay, window_start=t0)
             if inst is None:
@@ -59,11 +62,19 @@ def run_fig5(
             rand_seed = int(rng.integers(2**31 - 1))
             for algo in algos:
                 kwargs = {"seed": rand_seed} if "rand" in algo else {}
-                out = evaluate_algorithm(algo, inst, config, sim_seed, **kwargs)
-                if out is not None:
-                    energies[algo].append(out.normalized_energy)
+                jobs.append(EvalJob.make(algo, inst, sim_seed, **kwargs))
+                points.append((delay, algo))
+    outcomes = evaluate_many(jobs, config)
+
+    energies: Dict[Tuple[float, str], List[float]] = {
+        (d, a): [] for d in delays for a in algos
+    }
+    for point, out in zip(points, outcomes):
+        if out is not None:
+            energies[point].append(out.normalized_energy)
+    for delay in delays:
         result.add_point(
-            delay, {a.upper(): mean_or_nan(energies[a]) for a in algos}
+            delay, {a.upper(): mean_or_nan(energies[delay, a]) for a in algos}
         )
     return result
 

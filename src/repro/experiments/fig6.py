@@ -18,7 +18,7 @@ from typing import Dict, List, Sequence, Tuple
 from ..core.rng import as_generator
 from .config import ExperimentConfig, FAST_CONFIG
 from .fig5 import FADING_ALGOS, STATIC_ALGOS
-from .harness import default_trace, evaluate_algorithm, mean_or_nan, sample_instance
+from .harness import EvalJob, default_trace, evaluate_many, mean_or_nan, sample_instance
 from .reporting import SweepResult, print_sweep
 
 __all__ = ["run_fig6", "ALL_ALGOS", "FIG6_NODE_COUNTS"]
@@ -41,10 +41,11 @@ def run_fig6(
         x_label="N",
     )
     rng = as_generator(config.seed + 6)
+    # Serial sampling (the rng stream is the reproducibility contract),
+    # deferred evaluation via evaluate_many (see fig4).
+    jobs, points = [], []
     for n in node_counts:
         trace = default_trace(n, config, int(rng.integers(2**31 - 1)))
-        energies: Dict[str, List[float]] = {a: [] for a in ALL_ALGOS}
-        deliveries: Dict[str, List[float]] = {a: [] for a in ALL_ALGOS}
         for _ in range(config.repetitions):
             inst = sample_instance(trace, config, rng)
             if inst is None:
@@ -53,22 +54,31 @@ def run_fig6(
             rand_seed = int(rng.integers(2**31 - 1))
             for algo in ALL_ALGOS:
                 kwargs = {"seed": rand_seed} if "rand" in algo else {}
-                out = evaluate_algorithm(
-                    algo,
-                    inst,
-                    config,
-                    sim_seed,
-                    execution_channel="fading",
-                    **kwargs,
+                jobs.append(
+                    EvalJob.make(
+                        algo, inst, sim_seed,
+                        execution_channel="fading", **kwargs,
+                    )
                 )
-                if out is not None:
-                    energies[algo].append(out.normalized_energy)
-                    deliveries[algo].append(out.delivery)
+                points.append((n, algo))
+    outcomes = evaluate_many(jobs, config)
+
+    energies: Dict[Tuple[int, str], List[float]] = {
+        (n, a): [] for n in node_counts for a in ALL_ALGOS
+    }
+    deliveries: Dict[Tuple[int, str], List[float]] = {
+        (n, a): [] for n in node_counts for a in ALL_ALGOS
+    }
+    for point, out in zip(points, outcomes):
+        if out is not None:
+            energies[point].append(out.normalized_energy)
+            deliveries[point].append(out.delivery)
+    for n in node_counts:
         energy_panel.add_point(
-            n, {a.upper(): mean_or_nan(energies[a]) for a in ALL_ALGOS}
+            n, {a.upper(): mean_or_nan(energies[n, a]) for a in ALL_ALGOS}
         )
         delivery_panel.add_point(
-            n, {a.upper(): mean_or_nan(deliveries[a]) for a in ALL_ALGOS}
+            n, {a.upper(): mean_or_nan(deliveries[n, a]) for a in ALL_ALGOS}
         )
     return energy_panel, delivery_panel
 

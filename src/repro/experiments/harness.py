@@ -19,6 +19,7 @@ import numpy as np
 
 from .. import obs
 from ..algorithms.base import make_scheduler
+from ..parallel import parallel_map, resolve_workers
 from ..channels.models import RayleighChannel, StaticChannel
 from ..core.rng import SeedLike, as_generator
 from ..errors import InfeasibleError
@@ -33,9 +34,11 @@ from .config import ExperimentConfig
 __all__ = [
     "Instance",
     "AlgorithmOutcome",
+    "EvalJob",
     "default_trace",
     "sample_instance",
     "evaluate_algorithm",
+    "evaluate_many",
     "mean_or_nan",
 ]
 
@@ -175,6 +178,77 @@ def evaluate_algorithm(
         num_transmissions=len(result.schedule),
         wall_time=wall,
     )
+
+
+@dataclass(frozen=True)
+class EvalJob:
+    """One deferred :func:`evaluate_algorithm` call.
+
+    The figure drivers build their job lists *serially* — instance sampling
+    and seed derivation consume the experiment's random stream, and the
+    stream's draw order is the reproducibility contract — then hand the
+    whole list to :func:`evaluate_many` for (optional) parallel execution.
+    """
+
+    name: str
+    instance: Instance
+    sim_seed: int
+    execution_channel: str = "match"
+    scheduler_kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @staticmethod
+    def make(
+        name: str,
+        instance: Instance,
+        sim_seed: int,
+        execution_channel: str = "match",
+        **scheduler_kwargs,
+    ) -> "EvalJob":
+        return EvalJob(
+            name=name,
+            instance=instance,
+            sim_seed=sim_seed,
+            execution_channel=execution_channel,
+            scheduler_kwargs=tuple(sorted(scheduler_kwargs.items())),
+        )
+
+
+def _run_eval_job(
+    payload: Tuple[EvalJob, ExperimentConfig]
+) -> Optional[AlgorithmOutcome]:
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    job, config = payload
+    return evaluate_algorithm(
+        job.name, job.instance, config, job.sim_seed,
+        job.execution_channel, **dict(job.scheduler_kwargs),
+    )
+
+
+def evaluate_many(
+    jobs: Sequence[EvalJob], config: ExperimentConfig
+) -> List[Optional[AlgorithmOutcome]]:
+    """Evaluate a batch of jobs, across ``config.workers`` processes.
+
+    Results come back in job order, so aggregation is independent of
+    completion order, and each job is self-contained (its own sim seed,
+    drawn serially by the caller) — together that makes the output
+    bit-identical to a serial loop for any worker count.
+
+    ``workers > 1`` moves the parallelism *up* from the Monte-Carlo trials
+    inside one evaluation to whole evaluations (scheduling **and**
+    simulation overlap across figure points); the inner trial loops then
+    run serially so worker processes don't nest pools.  Like
+    :func:`repro.sim.runner.run_trials`, a recording ledger forces the
+    serial path — events emitted in worker processes would be lost.
+    """
+    w = resolve_workers(config.workers)
+    if w > 1 and obs.ledger_enabled():
+        obs.counter("parallel.ledger_fallback")
+        w = 1
+    inner = config.with_(workers=1) if w > 1 else config
+    payloads = [(job, inner) for job in jobs]
+    with obs.span("experiment.evaluate_many", jobs=len(jobs), workers=w):
+        return parallel_map(_run_eval_job, payloads, workers=w)
 
 
 def sample_paired_starts(

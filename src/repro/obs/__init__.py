@@ -24,13 +24,17 @@ Chrome ``trace_event`` and CSV formats.
 """
 
 from .events import (
+    EV_BATCH_FLUSHED,
     EV_CONSTRAINT_VIOLATED,
     EV_ENERGY_DEBITED,
     EV_FEASIBILITY_CHECKED,
     EV_MANIFEST,
     EV_NODE_INFORMED,
     EV_ONLINE_ATTEMPT,
+    EV_PLAN_CACHE_HIT,
+    EV_PLAN_CACHE_MISS,
     EV_RELAY_SELECTED,
+    EV_REQUEST_REJECTED,
     EV_RUN_SUMMARY,
     EV_SIM_RECEPTION,
     EV_TRANSMISSION_SCHEDULED,
@@ -129,6 +133,10 @@ __all__ = [
     "EV_SIM_RECEPTION",
     "EV_ONLINE_ATTEMPT",
     "EV_RUN_SUMMARY",
+    "EV_PLAN_CACHE_HIT",
+    "EV_PLAN_CACHE_MISS",
+    "EV_BATCH_FLUSHED",
+    "EV_REQUEST_REJECTED",
     # ledger
     "Ledger",
     "NoopLedger",

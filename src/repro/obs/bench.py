@@ -2,7 +2,8 @@
 
 ``run_bench`` times the pipeline's core operations (DTS construction,
 auxiliary-graph build, Steiner solve, full EEDCB / FR-EEDCB runs,
-Monte-Carlo simulation, temporal Dijkstra, feasibility checking) on a
+Monte-Carlo simulation, temporal Dijkstra, feasibility checking, plan-cache
+hits, and batched service planning) on a
 deterministic synthetic instance and reports p50/p95 wall times together
 with the *work counters* each operation produced (Steiner expansions, NLP
 iterations, Dijkstra settles).  Counters are machine-independent, so they
@@ -57,6 +58,8 @@ TIER1_OPS = (
     "eedcb_run",
     "fr_eedcb_run",
     "monte_carlo",
+    "plan_cache_hit",
+    "batched_plan",
 )
 
 #: counters that are deterministic work measures (gated exactly like times)
@@ -122,9 +125,11 @@ def _ops(
     the memo for the rest and the numbers would depend on suite order.
     """
     from ..algorithms import make_scheduler
+    from ..api import plan_broadcast, plan_cache_key
     from ..auxgraph import build_aux_graph, build_compact_aux_graph
     from ..dts import build_dts
     from ..schedule import check_feasibility
+    from ..service import Batcher, PlanCache
     from ..sim import run_trials
     from ..steiner import solve_memt
     from ..temporal import earliest_arrivals
@@ -132,6 +137,9 @@ def _ops(
     dts = build_dts(static.tvg, delay)
     aux = build_aux_graph(static, source, delay, dts)
     schedule = make_scheduler("eedcb").run(static, source, delay).schedule
+    plan_cache = PlanCache()
+    plan_broadcast(static, source, delay, cache=plan_cache)  # prewarm
+    plan_key = plan_cache_key(static, source, delay)
 
     def dts_build():
         d = build_dts(static.tvg, delay)
@@ -185,6 +193,35 @@ def _ops(
         check_feasibility(static, schedule, source, delay)
         return None
 
+    def plan_cache_hit():
+        # One memory hit is ~µs — far below timer resolution — so each
+        # repeat times a fixed block of 200 lookups (key derivation + LRU
+        # hit; the acceptance bar is the *whole* hit path staying ≥50×
+        # faster than eedcb_run).
+        for _ in range(200):
+            plan_broadcast(static, source, delay, cache=plan_cache)
+        return {"lookups": 200.0}
+
+    def batched_plan():
+        # The service path: 8 duplicate concurrent requests through a
+        # Batcher, deduped to exactly one cold plan computation.
+        static.clear_caches()
+        with Batcher(max_wait=0.05, workers=2) as b:
+            futures = [
+                b.submit(
+                    plan_key,
+                    lambda: plan_broadcast(static, source, delay),
+                )
+                for _ in range(8)
+            ]
+            for f in futures:
+                f.result(timeout=120)
+        # stats()["deduped"] is *almost* always 7 here, but a stalled
+        # flush thread can legitimately split the batch — don't report a
+        # counter CI would gate exactly (the dedupe property itself is
+        # asserted in tests/test_service.py).
+        return {"requests": 8.0}
+
     return [
         ("dts_build", dts_build),
         ("aux_graph_build", aux_graph_build),
@@ -196,6 +233,8 @@ def _ops(
         ("monte_carlo_parallel", monte_carlo_parallel),
         ("temporal_dijkstra", temporal_dijkstra),
         ("feasibility_check", feasibility_check),
+        ("plan_cache_hit", plan_cache_hit),
+        ("batched_plan", batched_plan),
     ]
 
 

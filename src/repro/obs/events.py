@@ -46,6 +46,10 @@ __all__ = [
     "EV_SIM_RECEPTION",
     "EV_ONLINE_ATTEMPT",
     "EV_RUN_SUMMARY",
+    "EV_PLAN_CACHE_HIT",
+    "EV_PLAN_CACHE_MISS",
+    "EV_BATCH_FLUSHED",
+    "EV_REQUEST_REJECTED",
     "EVENT_TYPES",
 ]
 
@@ -70,6 +74,14 @@ EV_ONLINE_ATTEMPT = "online_attempt"
 #: end-of-run rollup (algorithm, stage_seconds, totals) — what the HTML
 #: report's timing panel reads
 EV_RUN_SUMMARY = "run_summary"
+#: a plan was served from the content-addressed cache (key, tier)
+EV_PLAN_CACHE_HIT = "plan_cache_hit"
+#: a plan request missed the cache and was computed (key)
+EV_PLAN_CACHE_MISS = "plan_cache_miss"
+#: the batcher executed one group of queued requests (size, unique, deduped)
+EV_BATCH_FLUSHED = "batch_flushed"
+#: admission control turned a request away (reason: queue_full | timeout)
+EV_REQUEST_REJECTED = "request_rejected"
 
 EVENT_TYPES = (
     EV_MANIFEST,
@@ -82,6 +94,10 @@ EVENT_TYPES = (
     EV_SIM_RECEPTION,
     EV_ONLINE_ATTEMPT,
     EV_RUN_SUMMARY,
+    EV_PLAN_CACHE_HIT,
+    EV_PLAN_CACHE_MISS,
+    EV_BATCH_FLUSHED,
+    EV_REQUEST_REJECTED,
 )
 
 

@@ -1,7 +1,15 @@
 """Broadcast relay schedules, Eq. (6) probabilities, feasibility (Sec. IV)."""
 
 from .feasibility import FeasibilityReport, check_feasibility
-from .io import read_schedule_csv, write_schedule_csv
+from .io import (
+    PLAN_SCHEMA,
+    doc_to_plan,
+    plan_to_doc,
+    read_plan_json,
+    read_schedule_csv,
+    write_plan_json,
+    write_schedule_csv,
+)
 from .probability import (
     informed_time,
     is_informed,
@@ -26,5 +34,10 @@ __all__ = [
     "upgrade_and_prune",
     "write_schedule_csv",
     "read_schedule_csv",
+    "PLAN_SCHEMA",
+    "plan_to_doc",
+    "doc_to_plan",
+    "write_plan_json",
+    "read_plan_json",
     "ascii_timeline",
 ]

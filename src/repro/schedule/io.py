@@ -1,24 +1,46 @@
-"""Schedule serialization: save a relay schedule, execute it later.
+"""Schedule and plan serialization: save a result, execute it later.
 
 Schedules are written as headered CSV (``relay,time,cost``) so a plan
 computed once (e.g. via ``python -m repro schedule``) can be re-simulated,
 audited, or deployed without re-running the scheduler.  Relay labels are
 stored as strings; pass ``node_type`` (default ``int``) when reading to
 recover the original identifiers.
+
+Whole :class:`~repro.api.BroadcastPlan` results serialize to JSON *plan
+documents* (:func:`plan_to_doc` / :func:`write_plan_json` /
+:func:`read_plan_json` / :func:`doc_to_plan`): the schedule rows, the
+Section IV feasibility report, the solver ``info`` metadata, and the run
+manifest, all losslessly — floats round-trip bit-for-bit via ``repr``-exact
+JSON, so a replayed plan is byte-identical to the computation that produced
+it.  The planning service's disk cache tier
+(:class:`repro.service.PlanCache`) is built on these documents.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import TextIO, Union
+from typing import Any, Dict, Mapping, TextIO, Union
 
 from ..errors import TraceFormatError
+from .feasibility import FeasibilityReport
 from .schedule import Schedule, Transmission
 
-__all__ = ["write_schedule_csv", "read_schedule_csv"]
+__all__ = [
+    "write_schedule_csv",
+    "read_schedule_csv",
+    "PLAN_SCHEMA",
+    "plan_to_doc",
+    "doc_to_plan",
+    "write_plan_json",
+    "read_plan_json",
+]
 
 PathLike = Union[str, Path]
+
+#: schema tag of a serialized plan document
+PLAN_SCHEMA = "repro.plan/1"
 
 
 def write_schedule_csv(schedule: Schedule, target: Union[PathLike, TextIO]) -> None:
@@ -64,3 +86,127 @@ def read_schedule_csv(
         if owns:
             fh.close()
     return Schedule(rows)
+
+
+# ----------------------------------------------------------------------
+# plan documents (BroadcastPlan ↔ JSON)
+# ----------------------------------------------------------------------
+
+def _check_node(node: Any) -> Any:
+    """Node labels must be JSON-native so they round-trip unchanged."""
+    if isinstance(node, (bool, int, float, str)):
+        return node
+    raise TraceFormatError(
+        f"plan documents require int/str/float node labels, got "
+        f"{type(node).__name__} ({node!r})"
+    )
+
+
+def plan_to_doc(plan: Any) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.api.BroadcastPlan` to a JSON-safe dict.
+
+    Everything except the TVEG is captured (a graph is an input, not an
+    output; :func:`doc_to_plan` takes one back in).  Floats survive
+    bit-for-bit — :mod:`json` writes ``repr``-exact decimal forms, and
+    ``inf`` informed-times serialize as JSON ``Infinity``.
+    """
+    fz = plan.feasibility
+    return {
+        "schema": PLAN_SCHEMA,
+        "algorithm": plan.algorithm,
+        "channel": plan.channel,
+        "source": _check_node(plan.source),
+        "deadline": float(plan.deadline),
+        "schedule": [
+            [_check_node(s.relay), s.time, s.cost] for s in plan.schedule
+        ],
+        "feasibility": {
+            "relays_informed": fz.relays_informed,
+            "all_informed": fz.all_informed,
+            "latency_ok": fz.latency_ok,
+            "budget_ok": fz.budget_ok,
+            "violations": list(fz.violations),
+            "informed_times": [
+                [_check_node(n), t] for n, t in fz.informed_times
+            ],
+        },
+        "info": dict(plan.info),
+        "manifest": dict(plan.manifest),
+    }
+
+
+def doc_to_plan(doc: Mapping[str, Any], tveg: Any) -> Any:
+    """Rebuild a :class:`~repro.api.BroadcastPlan` from a plan document.
+
+    ``tveg`` supplies the graph the plan applies to (documents never store
+    one).  The replayed plan's schedule, total cost, feasibility report,
+    ``info``, and manifest are byte-identical to the original's.
+    """
+    from ..api import BroadcastPlan  # deferred: api imports this package
+
+    if doc.get("schema") != PLAN_SCHEMA:
+        raise TraceFormatError(
+            f"not a plan document (schema={doc.get('schema')!r}, "
+            f"expected {PLAN_SCHEMA!r})"
+        )
+    try:
+        fz = doc["feasibility"]
+        report = FeasibilityReport(
+            relays_informed=bool(fz["relays_informed"]),
+            all_informed=bool(fz["all_informed"]),
+            latency_ok=bool(fz["latency_ok"]),
+            budget_ok=bool(fz["budget_ok"]),
+            violations=tuple(str(v) for v in fz["violations"]),
+            informed_times=tuple(
+                (n, float(t)) for n, t in fz["informed_times"]
+            ),
+        )
+        schedule = Schedule(
+            Transmission(r, float(t), float(w)) for r, t, w in doc["schedule"]
+        )
+        return BroadcastPlan(
+            schedule=schedule,
+            feasibility=report,
+            tveg=tveg,
+            source=doc["source"],
+            deadline=float(doc["deadline"]),
+            algorithm=str(doc["algorithm"]),
+            channel=str(doc["channel"]),
+            info=dict(doc["info"]),
+            manifest=dict(doc.get("manifest", {})),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"malformed plan document: {exc}") from exc
+
+
+def write_plan_json(plan_or_doc: Any, target: Union[PathLike, TextIO]) -> None:
+    """Write a plan (or an already-built plan document) as JSON."""
+    doc = (
+        plan_or_doc
+        if isinstance(plan_or_doc, Mapping)
+        else plan_to_doc(plan_or_doc)
+    )
+    owns = isinstance(target, (str, Path))
+    fh = open(target, "w", encoding="utf-8") if owns else target
+    try:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    finally:
+        if owns:
+            fh.close()
+
+
+def read_plan_json(source: Union[PathLike, TextIO]) -> Dict[str, Any]:
+    """Load a plan document written by :func:`write_plan_json`."""
+    owns = isinstance(source, (str, Path))
+    fh = open(source, "r", encoding="utf-8") if owns else source
+    try:
+        doc = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"malformed plan JSON: {exc}") from exc
+    finally:
+        if owns:
+            fh.close()
+    if not isinstance(doc, dict):
+        raise TraceFormatError("plan JSON must be an object")
+    return doc

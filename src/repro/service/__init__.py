@@ -1,0 +1,48 @@
+"""Planning service: plan cache, batched scheduling queue, HTTP server.
+
+The schedulers in this package are deterministic: the same problem
+instance always yields the same plan.  This subpackage turns that into a
+serving layer — compute once, answer many:
+
+* :mod:`~repro.service.cache` — :class:`PlanCache`, a content-addressed
+  two-tier (LRU memory + JSON disk) cache of
+  :class:`~repro.api.BroadcastPlan` keyed by the plan's
+  ``manifest["config_hash"]``;
+* :mod:`~repro.service.batcher` — :class:`Batcher`, a bounded request
+  queue that groups concurrent requests, executes one compute per unique
+  key on a thread pool, and fans results out to duplicates;
+* :mod:`~repro.service.server` — :class:`PlanningService`, the embeddable
+  facade combining both over a set of named traces, plus the
+  ``ThreadingHTTPServer`` JSON API behind ``repro serve``.
+
+Quick embedding::
+
+    from repro import HaggleLikeConfig, haggle_like_trace
+    from repro.service import PlanningService
+
+    trace = haggle_like_trace(HaggleLikeConfig(num_nodes=20), seed=7)
+    with PlanningService({"demo": trace}) as svc:
+        r = svc.plan("demo", 2000.0, window=9000.0, seed=7)
+        print(r.plan.total_cost, r.cached)
+
+Quick serving::
+
+    $ python -m repro serve --synthetic 20 --port 8437 &
+    $ curl -s -X POST localhost:8437/plan \\
+        -d '{"deadline": 2000, "window": 9000, "seed": 7}'
+"""
+
+from .batcher import Batcher, BatcherStats
+from .cache import CacheStats, PlanCache
+from .server import PlanningService, PlanResponse, make_server, serve
+
+__all__ = [
+    "Batcher",
+    "BatcherStats",
+    "CacheStats",
+    "PlanCache",
+    "PlanResponse",
+    "PlanningService",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,453 @@
+"""Embeddable planning service and its stdlib-only HTTP front-end.
+
+:class:`PlanningService` composes the pieces of this package into one
+object an application (or the bundled HTTP server) drives:
+
+* a set of **named contact traces** it plans against;
+* a bounded registry of **shared TVEGs** — one per distinct
+  ``(trace, channel, window, seed)`` — so concurrent requests that differ
+  only in algorithm or source hit the same live graph object and share its
+  DCS / cost caches;
+* a :class:`~repro.service.cache.PlanCache` answering repeated problems
+  without recomputation;
+* a :class:`~repro.service.batcher.Batcher` deduping and amortizing what
+  the cache misses.
+
+The HTTP layer is deliberately boring: :class:`ThreadingHTTPServer` from
+the standard library, JSON in / JSON out, four endpoints:
+
+========================  ====================================================
+``POST /plan``            plan one broadcast; body mirrors
+                          :meth:`PlanningService.plan`'s keywords
+``GET /healthz``          liveness + queue depth
+``GET /metrics``          cache, batcher, and request counters in one doc
+``GET /cache/stats``      the plan cache's counters alone
+========================  ====================================================
+
+Admission control surfaces as status codes: a full batch queue is **429**
+with a ``Retry-After`` header, a request that waited past the per-request
+timeout is **504** (the computation keeps running and lands in the cache,
+so the retry is usually a hit), an infeasible instance is **422**, and
+malformed input is **400** — the server never turns a bad request into a
+stack trace.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .. import obs
+from ..api import BroadcastPlan, plan_broadcast, plan_cache_key
+from ..errors import InfeasibleError, ReproError, ServiceOverloaded
+from ..schedule.io import plan_to_doc
+from ..traces.model import ContactTrace
+from ..tveg.builders import tveg_from_trace
+from ..tveg.graph import TVEG
+from .batcher import Batcher
+from .cache import PlanCache
+
+__all__ = ["PlanResponse", "PlanningService", "make_server", "serve"]
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """One :meth:`PlanningService.plan` outcome.
+
+    ``cached`` reports whether the key was already present *before* this
+    request ran (a peek, so duplicate concurrent misses all honestly say
+    ``False`` even though only one of them computes).
+    """
+
+    plan: BroadcastPlan
+    key: str
+    cached: bool
+    wall_seconds: float
+
+    def as_doc(self) -> Dict[str, Any]:
+        """The JSON document ``POST /plan`` responds with."""
+        return {
+            "key": self.key,
+            "cached": self.cached,
+            "wall_seconds": self.wall_seconds,
+            "plan": plan_to_doc(self.plan),
+        }
+
+
+class PlanningService:
+    """Cache- and batch-backed broadcast planning over named traces.
+
+    Parameters
+    ----------
+    traces:
+        Mapping of name → :class:`~repro.traces.model.ContactTrace`; the
+        names are what ``POST /plan`` requests reference.  More can be
+        registered later with :meth:`add_trace`.
+    cache:
+        Plan cache to consult/populate; defaults to a fresh in-memory
+        :class:`PlanCache`.
+    batcher:
+        Request batcher; defaults to a fresh :class:`Batcher` built from
+        ``workers`` / ``max_batch`` / ``max_wait`` / ``max_queue``.
+    timeout:
+        Default seconds a :meth:`plan` call waits for its batched result
+        before raising :class:`TimeoutError` (HTTP 504).
+    tveg_capacity:
+        Bound on the shared-TVEG registry; least recently used graphs are
+        dropped past it (their plans stay cached).
+    """
+
+    def __init__(
+        self,
+        traces: Optional[Mapping[str, ContactTrace]] = None,
+        *,
+        cache: Optional[PlanCache] = None,
+        batcher: Optional[Batcher] = None,
+        workers: Optional[int] = None,
+        max_batch: int = 32,
+        max_wait: float = 0.005,
+        max_queue: int = 256,
+        timeout: float = 30.0,
+        tveg_capacity: int = 16,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if tveg_capacity < 1:
+            raise ValueError(
+                f"tveg_capacity must be >= 1, got {tveg_capacity}"
+            )
+        self._traces: Dict[str, ContactTrace] = dict(traces or {})
+        self._cache = cache if cache is not None else PlanCache()
+        self._batcher = batcher if batcher is not None else Batcher(
+            workers=workers, max_batch=max_batch, max_wait=max_wait,
+            max_queue=max_queue,
+        )
+        self._timeout = float(timeout)
+        self._tvegs: "OrderedDict[Tuple, TVEG]" = OrderedDict()
+        self._tveg_capacity = int(tveg_capacity)
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._requests = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> PlanCache:
+        return self._cache
+
+    @property
+    def batcher(self) -> Batcher:
+        return self._batcher
+
+    def trace_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._traces)
+
+    def add_trace(self, name: str, trace: ContactTrace) -> None:
+        """Register (or replace) a named trace."""
+        with self._lock:
+            self._traces[name] = trace
+
+    def close(self) -> None:
+        """Shut the batcher down; in-flight requests finish first."""
+        self._batcher.close()
+
+    def __enter__(self) -> "PlanningService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _resolve_trace(self, name: Optional[str]) -> ContactTrace:
+        with self._lock:
+            if name is None:
+                if len(self._traces) == 1:
+                    return next(iter(self._traces.values()))
+                raise KeyError(
+                    "request names no trace and the service hosts "
+                    f"{len(self._traces)} — pass \"trace\""
+                )
+            try:
+                return self._traces[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown trace {name!r}; hosted: "
+                    f"{', '.join(sorted(self._traces)) or '(none)'}"
+                ) from None
+
+    def _shared_tveg(
+        self,
+        name: Optional[str],
+        trace: ContactTrace,
+        channel: str,
+        window: Optional[Any],
+        deadline: float,
+        seed,
+    ) -> TVEG:
+        """The one TVEG every request with this (trace, channel, window,
+        seed) shares — so their NodeSweep/DCS cost work amortizes."""
+        if window is not None:
+            if isinstance(window, (int, float)):
+                start, end = float(window), float(window) + deadline
+            else:
+                start, end = float(window[0]), float(window[1])
+            bounds: Optional[Tuple[float, float]] = (start, end)
+        else:
+            bounds = None
+        regkey = (name, trace.fingerprint(), channel, bounds, seed)
+        with self._lock:
+            tveg = self._tvegs.get(regkey)
+            if tveg is not None:
+                self._tvegs.move_to_end(regkey)
+                return tveg
+        if bounds is not None:
+            trace = trace.restrict_window(*bounds).shift(-bounds[0])
+        tveg = tveg_from_trace(trace, channel, seed=seed)
+        with self._lock:
+            tveg = self._tvegs.setdefault(regkey, tveg)
+            self._tvegs.move_to_end(regkey)
+            while len(self._tvegs) > self._tveg_capacity:
+                self._tvegs.popitem(last=False)
+        return tveg
+
+    def plan(
+        self,
+        trace: Optional[str] = None,
+        deadline: float = 2000.0,
+        *,
+        source=None,
+        algorithm: str = "eedcb",
+        channel: str = "static",
+        window=None,
+        seed=None,
+        timeout: Optional[float] = None,
+        **scheduler_kwargs,
+    ) -> PlanResponse:
+        """Plan one broadcast through the cache and the batch queue.
+
+        Raises :class:`KeyError` for an unknown trace name,
+        :class:`~repro.errors.ServiceOverloaded` when admission control
+        turns the request away, :class:`TimeoutError` when the result
+        doesn't arrive within ``timeout`` seconds (the computation still
+        completes and populates the cache), and whatever the planner
+        itself raises (e.g. :class:`~repro.errors.InfeasibleError`).
+        """
+        t0 = time.perf_counter()
+        with self._lock:
+            self._requests += 1
+        base = self._resolve_trace(trace)
+        deadline = float(deadline)
+        tveg = self._shared_tveg(trace, base, channel, window, deadline, seed)
+        key = plan_cache_key(
+            tveg, source, deadline, algorithm=algorithm, seed=seed,
+            **scheduler_kwargs,
+        )
+        cached = key in self._cache
+
+        def compute() -> BroadcastPlan:
+            return plan_broadcast(
+                tveg, source, deadline, algorithm=algorithm, seed=seed,
+                cache=self._cache, **scheduler_kwargs,
+            )
+
+        try:
+            future = self._batcher.submit(key, compute)
+            plan = future.result(
+                timeout=self._timeout if timeout is None else timeout
+            )
+        except BaseException:
+            with self._lock:
+                self._errors += 1
+            raise
+        return PlanResponse(
+            plan=plan, key=key, cached=cached,
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        """Everything ``GET /metrics`` serves, one JSON-ready document."""
+        with self._lock:
+            requests, errors = self._requests, self._errors
+            traces = sorted(self._traces)
+            shared = len(self._tvegs)
+        return {
+            "uptime_seconds": time.time() - self._started,
+            "requests": requests,
+            "errors": errors,
+            "traces": traces,
+            "shared_tvegs": shared,
+            "cache": self._cache.stats(),
+            "batcher": self._batcher.stats(),
+        }
+
+    def healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self._started,
+            "queue_depth": self._batcher.queue_depth,
+            "traces": self.trace_names(),
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP front-end
+# ----------------------------------------------------------------------
+
+#: request-body fields POST /plan forwards to PlanningService.plan
+_PLAN_FIELDS = (
+    "trace", "deadline", "source", "algorithm", "channel", "window", "seed",
+    "timeout",
+)
+
+
+class _PlanningServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the service for its handlers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: PlanningService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # quiet by default; the CLI's -v wires a logger in
+    def log_message(self, format: str, *args: Any) -> None:
+        logger = getattr(self.server, "logger", None)
+        if logger is not None:
+            logger.info("%s " + format, self.address_string(), *args)
+
+    # -- helpers -------------------------------------------------------
+    def _send_json(
+        self,
+        status: int,
+        doc: Mapping[str, Any],
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str, **extra: Any) -> None:
+        doc = {"error": message}
+        headers = {}
+        retry_after = extra.pop("retry_after", None)
+        if retry_after is not None:
+            headers["Retry-After"] = str(int(max(1, retry_after)))
+            doc["retry_after"] = retry_after
+        doc.update(extra)
+        self._send_json(status, doc, headers)
+
+    # -- endpoints -----------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service: PlanningService = self.server.service
+        if self.path == "/healthz":
+            self._send_json(200, service.healthz())
+        elif self.path == "/metrics":
+            self._send_json(200, service.metrics())
+        elif self.path == "/cache/stats":
+            self._send_json(200, service.cache.stats())
+        else:
+            self._send_error(404, f"no such endpoint: {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        service: PlanningService = self.server.service
+        if self.path != "/plan":
+            self._send_error(404, f"no such endpoint: {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            body = json.loads(raw.decode("utf-8"))
+            if not isinstance(body, dict):
+                raise ValueError("request body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_error(400, f"bad request body: {exc}")
+            return
+        if "deadline" not in body:
+            self._send_error(400, 'missing required field "deadline"')
+            return
+
+        kwargs = {k: body[k] for k in _PLAN_FIELDS if k in body}
+        extra = body.get("scheduler_kwargs", {})
+        if not isinstance(extra, dict):
+            self._send_error(400, '"scheduler_kwargs" must be an object')
+            return
+        unknown = set(body) - set(_PLAN_FIELDS) - {"scheduler_kwargs"}
+        if unknown:
+            self._send_error(
+                400, f"unknown fields: {', '.join(sorted(unknown))}"
+            )
+            return
+        try:
+            window = kwargs.get("window")
+            if isinstance(window, list):
+                kwargs["window"] = tuple(window)
+            response = service.plan(**kwargs, **extra)
+        except KeyError as exc:
+            self._send_error(404, str(exc.args[0] if exc.args else exc))
+        except ServiceOverloaded as exc:
+            self._send_error(429, str(exc), retry_after=exc.retry_after)
+        except TimeoutError:
+            self._send_error(
+                504,
+                "request timed out; the plan is still being computed — "
+                "retrying will likely hit the cache",
+                retry_after=1.0,
+            )
+        except InfeasibleError as exc:
+            self._send_error(422, str(exc))
+        except (ReproError, TypeError, ValueError) as exc:
+            self._send_error(400, str(exc))
+        else:
+            self._send_json(200, response.as_doc())
+
+
+def make_server(
+    service: PlanningService,
+    host: str = "127.0.0.1",
+    port: int = 8437,
+) -> ThreadingHTTPServer:
+    """A bound (not yet serving) HTTP server wrapping ``service``.
+
+    ``port=0`` binds an ephemeral port — the tests' pattern::
+
+        srv = make_server(service, port=0)
+        threading.Thread(target=srv.serve_forever, daemon=True).start()
+        url = "http://%s:%d" % srv.server_address
+        ...
+        srv.shutdown(); service.close()
+    """
+    return _PlanningServer((host, port), service)
+
+
+def serve(
+    service: PlanningService,
+    host: str = "127.0.0.1",
+    port: int = 8437,
+) -> None:
+    """Serve until interrupted, then shut down cleanly (blocking call)."""
+    srv = make_server(service, host, port)
+    try:
+        srv.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        srv.server_close()
+        service.close()

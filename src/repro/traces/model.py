@@ -10,6 +10,7 @@ the TVEG builders.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -106,6 +107,24 @@ class ContactTrace:
             f"ContactTrace(|V|={self.num_nodes}, contacts={self.num_contacts}, "
             f"horizon={self._horizon:g})"
         )
+
+    def fingerprint(self) -> str:
+        """Short content hash over nodes, horizon, and every contact.
+
+        Two traces with the same records hash identically no matter how
+        they were constructed; any contact, node, or horizon change yields
+        a different hash.  Memoized (the trace is immutable).  The planning
+        service keys its content-addressed plan cache on it (via
+        :func:`repro.api.plan_broadcast`'s manifest ``config_hash``).
+        """
+        fp = getattr(self, "_fingerprint", None)
+        if fp is None:
+            h = hashlib.sha256()
+            h.update(repr((self._nodes, self._horizon)).encode("utf-8"))
+            for c in self._contacts:
+                h.update(repr((c.start, c.end, c.u, c.v)).encode("utf-8"))
+            fp = self._fingerprint = h.hexdigest()[:16]
+        return fp
 
     # ------------------------------------------------------------------
     def pair_presence(self) -> Dict[Tuple[Node, Node], IntervalSet]:

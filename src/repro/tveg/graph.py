@@ -11,6 +11,7 @@ is not adjacent at ``t`` yields :class:`~repro.channels.base.AbsentED`
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Callable, Hashable, List, Optional, Tuple
 
@@ -194,6 +195,40 @@ class TVEG:
             )
             self._cost_cache[key] = cached
         return cached
+
+    def fingerprint(self) -> str:
+        """Short content hash of the *realized* energy-demand graph.
+
+        Covers the topology (every contact interval), the channel model
+        class, the physical-layer parameters, ``τ``, and the link geometry
+        (each contact's distance sampled at its interval start — the value
+        the constant-within-contact cost cache keys on).  Two TVEGs built
+        from the same trace with the same channel/params/seed hash
+        identically; changing any of those changes the hash.  Memoized per
+        TVG version, so repeated cache lookups cost one dict read.
+        """
+        version = self._tvg.version
+        memo = getattr(self, "_fingerprint", None)
+        if memo is not None and memo[0] == version:
+            return memo[1]
+        h = hashlib.sha256()
+        h.update(
+            repr(
+                (
+                    type(self._channel).__name__,
+                    self._channel.params,
+                    self._tvg.nodes,
+                    self._tvg.horizon,
+                    self._tvg.tau,
+                )
+            ).encode("utf-8")
+        )
+        for u, v, start, end in self._tvg.contacts():
+            d = self._distances(u, v, start)
+            h.update(repr((u, v, start, end, d)).encode("utf-8"))
+        fp = h.hexdigest()[:16]
+        self._fingerprint = (version, fp)
+        return fp
 
     def neighbor_costs(self, node: Node, t: float) -> List[Tuple[Node, float]]:
         """``(neighbor, backbone cost)`` for all nodes adjacent at ``t``,

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 import io
+import itertools
 import json
 import logging
 import math
@@ -10,6 +12,7 @@ import math
 import pytest
 
 from repro import check_feasibility, make_scheduler, obs
+from repro.params import PAPER_PARAMS
 from repro.obs.bench import compare
 from repro.obs.events import Event, event_from_json, event_to_json
 from repro.obs.report import render_html
@@ -148,6 +151,81 @@ class TestManifest:
         assert back == json.loads(json.dumps(m))
         assert back["figure"] == "fig5"
         assert back["wall_seconds"] == 0.25
+
+
+class TestConfigHashStability:
+    """Regression: the plan cache keys on config_hash, so representation
+    noise — dataclass field order, dict insertion order, list vs tuple —
+    must never change the hash (a silently different key would turn every
+    cache lookup into a miss; a colliding one would replay wrong plans)."""
+
+    def test_dict_insertion_order_all_permutations(self):
+        items = [("a", 1), ("b", [2, 3]), ("c", {"x": True}), ("d", None)]
+        hashes = {
+            obs.config_hash(dict(perm))
+            for perm in itertools.permutations(items)
+        }
+        assert len(hashes) == 1
+
+    def test_nested_key_order(self):
+        a = {"outer": {"p": 1, "q": {"r": [1, 2], "s": 2}}}
+        b = {"outer": {"q": {"s": 2, "r": [1, 2]}, "p": 1}}
+        assert obs.config_hash(a) == obs.config_hash(b)
+
+    def test_list_tuple_equivalence(self):
+        assert obs.config_hash({"xs": [1, 2, 3]}) == obs.config_hash(
+            {"xs": (1, 2, 3)}
+        )
+        assert obs.config_hash({"xs": [[1], (2,)]}) == obs.config_hash(
+            {"xs": ((1,), [2])}
+        )
+
+    def test_sequence_order_is_significant(self):
+        # Sequences are payload, not keys: reordering them is a different
+        # config and must hash differently.
+        assert obs.config_hash({"xs": [1, 2]}) != obs.config_hash(
+            {"xs": [2, 1]}
+        )
+
+    def test_set_iteration_order(self):
+        a = {"nodes": {3, 1, 2}}
+        b = {"nodes": {2, 3, 1}}
+        assert obs.config_hash(a) == obs.config_hash(b)
+
+    def test_dataclass_field_reordering(self):
+        @dataclasses.dataclass
+        class ConfigV1:
+            alpha: float
+            beta: int
+            gamma: str
+
+        @dataclasses.dataclass
+        class ConfigV2:  # same fields, different declaration order
+            gamma: str
+            alpha: float
+            beta: int
+
+        v1 = dataclasses.asdict(ConfigV1(alpha=2.0, beta=3, gamma="x"))
+        v2 = dataclasses.asdict(ConfigV2(gamma="x", alpha=2.0, beta=3))
+        assert obs.config_hash(v1) == obs.config_hash(v2)
+
+    def test_phy_params_reordering_via_asdict(self):
+        # The real dataclass the plan-cache key embeds ("params").
+        d = dataclasses.asdict(PAPER_PARAMS)
+        reordered = dict(reversed(list(d.items())))
+        assert obs.config_hash({"params": d}) == obs.config_hash(
+            {"params": reordered}
+        )
+
+    def test_hash_is_pinned(self):
+        # The disk cache persists across versions; a change to the
+        # canonicalization silently orphans every stored plan.  Update this
+        # constant only with a deliberate cache-format bump.
+        config = {
+            "algorithm": "eedcb", "deadline": 2000.0, "window": None,
+            "scheduler_kwargs": {}, "seed": 7, "instance": "0" * 16,
+        }
+        assert obs.config_hash(config) == "0c65b5c4a4491d50"
 
 
 class TestDomainEvents:

@@ -1,0 +1,164 @@
+"""Plan-document round-trips: every scheduler, deterministic + hypothesis.
+
+The disk tier of the plan cache replays stored documents as live plans, so
+serialization must be lossless for every field a plan caller can observe —
+schedule rows (bit-exact floats), feasibility report, info counters,
+manifest.  These tests pin that across all seven schedulers.
+"""
+
+import io
+import json
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import SCHEDULERS
+from repro.api import plan_broadcast
+from repro.errors import InfeasibleError, TraceFormatError
+from repro.schedule import Schedule, Transmission
+from repro.schedule.io import (
+    PLAN_SCHEMA,
+    doc_to_plan,
+    plan_to_doc,
+    read_plan_json,
+    write_plan_json,
+)
+from repro.traces import Contact, ContactTrace
+
+from .conftest import make_random_instance
+
+ALL_SCHEDULERS = sorted(SCHEDULERS)
+
+
+def assert_plans_equal(back, plan):
+    """Every observable field survives serialization bit-exactly."""
+    assert list(back.schedule) == list(plan.schedule)
+    assert back.schedule.total_cost == plan.schedule.total_cost
+    assert back.source == plan.source
+    assert back.deadline == plan.deadline
+    assert back.algorithm == plan.algorithm
+    assert back.channel == plan.channel
+    assert back.info == plan.info
+    # JSON-normalize the reference: tuples inside the manifest config (e.g.
+    # a window pair) legitimately come back as lists.
+    assert back.manifest == json.loads(json.dumps(plan.manifest))
+    f, g = back.feasibility, plan.feasibility
+    assert f.feasible == g.feasible
+    assert f.relays_informed == g.relays_informed
+    assert f.all_informed == g.all_informed
+    assert f.latency_ok == g.latency_ok
+    assert f.budget_ok == g.budget_ok
+    assert f.violations == g.violations
+    assert f.informed_times == g.informed_times
+
+
+def round_trip(plan, path):
+    write_plan_json(plan, path)
+    return doc_to_plan(read_plan_json(path), plan.tveg)
+
+
+@pytest.mark.parametrize("algo", ALL_SCHEDULERS)
+def test_round_trip_every_scheduler(algo, tmp_path):
+    channel = "rayleigh" if algo.startswith("fr-") else "static"
+    trace, tveg = make_random_instance(seed=11, channel=channel)
+    plan = plan_broadcast(tveg, 0, 300.0, algorithm=algo, seed=11)
+    back = round_trip(plan, tmp_path / "plan.json")
+    assert back is not plan
+    assert back.tveg is plan.tveg
+    assert_plans_equal(back, plan)
+
+
+def test_doc_shape_and_schema(tmp_path):
+    _, tveg = make_random_instance(seed=3)
+    plan = plan_broadcast(tveg, 0, 300.0, seed=3)
+    doc = plan_to_doc(plan)
+    assert doc["schema"] == PLAN_SCHEMA
+    assert doc["algorithm"] == "eedcb"
+    assert all(len(row) == 3 for row in doc["schedule"])
+    # document is pure-JSON: a dump/load cycle is the identity
+    assert json.loads(json.dumps(doc)) == doc
+
+
+def test_doc_to_plan_rejects_other_schemas(det_static):
+    with pytest.raises(TraceFormatError):
+        doc_to_plan({"schema": "repro.plan/999"}, det_static)
+    with pytest.raises(TraceFormatError):
+        doc_to_plan({}, det_static)
+
+
+def test_doc_to_plan_rejects_truncated_doc(det_static):
+    _, tveg = make_random_instance(seed=3)
+    doc = plan_to_doc(plan_broadcast(tveg, 0, 300.0, seed=3))
+    del doc["feasibility"]
+    with pytest.raises(TraceFormatError):
+        doc_to_plan(doc, tveg)
+
+
+def test_read_plan_json_rejects_garbage():
+    with pytest.raises(TraceFormatError):
+        read_plan_json(io.StringIO("not json"))
+    with pytest.raises(TraceFormatError):
+        read_plan_json(io.StringIO("[1, 2, 3]"))
+
+
+def test_non_json_node_labels_are_rejected():
+    sched = Schedule([Transmission((0, 1), 1.0, 1e-9)])  # tuple-labeled relay
+    _, tveg = make_random_instance(seed=3)
+    plan = plan_broadcast(tveg, 0, 300.0, seed=3)
+    bad = type(plan)(
+        schedule=sched, feasibility=plan.feasibility, tveg=plan.tveg,
+        source=plan.source, deadline=plan.deadline, algorithm=plan.algorithm,
+        channel=plan.channel, info=plan.info, manifest=plan.manifest,
+    )
+    with pytest.raises(TraceFormatError):
+        plan_to_doc(bad)
+
+
+# ----------------------------------------------------------------------
+# hypothesis: random instances, every scheduler
+# ----------------------------------------------------------------------
+
+NODES = 5
+HORIZON = 120.0
+
+
+@st.composite
+def contact_traces(draw):
+    """Random small contact traces over 5 nodes and a 120 s horizon."""
+    n_contacts = draw(st.integers(4, 14))
+    contacts = []
+    for _ in range(n_contacts):
+        u = draw(st.integers(0, NODES - 1))
+        v = draw(st.integers(0, NODES - 1))
+        if u == v:
+            continue
+        start = draw(st.floats(0.0, HORIZON - 10.0))
+        dur = draw(st.floats(5.0, 50.0))
+        contacts.append(Contact(start, min(start + dur, HORIZON), u, v))
+    return ContactTrace(contacts, nodes=tuple(range(NODES)), horizon=HORIZON)
+
+
+@pytest.mark.parametrize("algo", ALL_SCHEDULERS)
+@given(trace=contact_traces(), seed=st.integers(0, 2**16))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        # tmp_path is reused across examples — fine, each write overwrites
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+def test_round_trip_random(algo, trace, seed, tmp_path):
+    channel = "rayleigh" if algo.startswith("fr-") else "static"
+    try:
+        plan = plan_broadcast(
+            trace, None, HORIZON, algorithm=algo, channel=channel, seed=seed
+        )
+    except InfeasibleError:
+        return  # nothing to serialize for this draw
+    assert math.isfinite(plan.total_cost)
+    back = round_trip(plan, tmp_path / f"{algo}.json")
+    assert_plans_equal(back, plan)

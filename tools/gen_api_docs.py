@@ -16,6 +16,7 @@ from pathlib import Path
 SUBPACKAGES = [
     "repro",
     "repro.api",
+    "repro.service",
     "repro.obs",
     "repro.core",
     "repro.temporal",
@@ -60,6 +61,37 @@ print(plan.feasible, plan.normalized_energy(), plan.info["aux_nodes"])
 Scheduler names are alias-tolerant everywhere (`"FR-EEDCB"`,
 `"fr_eedcb"`, and `"freedcb"` all mean `"fr-eedcb"`); see
 `repro.canonical_scheduler_name`.
+
+Pass `cache=PlanCache(...)` to answer repeated problems without
+recomputation; `plan_config` / `plan_cache_key` expose the canonical
+config dict and its content-addressed hash (== the plan's
+`manifest["config_hash"]`) without planning.
+""",
+    "repro.service": """\
+# Planning service
+
+`repro.service` is the serving layer over `plan_broadcast`: a
+content-addressed two-tier plan cache (`PlanCache`), a bounded batching
+queue that dedupes concurrent duplicate requests to one computation
+(`Batcher`), and an embeddable facade plus stdlib-only HTTP server
+(`PlanningService`, `make_server`, `serve`) behind `repro serve`:
+
+```python
+from repro.service import PlanningService
+
+with PlanningService({"demo": trace}) as svc:
+    r = svc.plan("demo", 2000.0, window=9000.0, seed=7)
+    print(r.plan.total_cost, r.cached)
+```
+
+```bash
+python -m repro serve --synthetic 20 --port 8437 &
+curl -s -X POST localhost:8437/plan \\
+  -d '{"deadline": 2000, "window": 9000, "seed": 7}'
+```
+
+See `docs/SERVICE.md` for the architecture, the `POST /plan` body and
+status-code contract (400/404/422/429/504), and the replay guarantees.
 """,
     "repro.obs": """\
 # Observability
