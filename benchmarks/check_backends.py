@@ -1,18 +1,19 @@
 #!/usr/bin/env python
-"""Cross-check the compact (CSR) and networkx auxiliary-graph backends.
+"""Cross-check the compact (CSR), networkx, and numpy pipeline variants.
 
-Runs the benchmark instance through both backends and fails (exit 1) on any
+Runs the benchmark instance through the nx backend, the stdlib compact
+backend, and the numpy compute kernels, and fails (exit 1) on any
 divergence: auxiliary graph size, Steiner work counters, tree cost, or the
 final schedules themselves — which must be *identical*, not merely equal in
-cost (the CSR build mirrors the networkx build's node/edge ordering, so the
+cost (every variant mirrors the networkx build's node/edge ordering, so the
 greedy solver's tie-breaks coincide).
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/check_backends.py [--nodes N] [--delay T]
 
-CI runs this next to the bench gate so a backend drift is caught even when
-both backends are individually fast and individually feasible.
+CI runs this next to the bench gate so a variant drift is caught even when
+each variant is individually fast and individually feasible.
 """
 
 import argparse
@@ -21,30 +22,39 @@ import sys
 from repro.algorithms import make_scheduler
 from repro.obs.bench import _build_instance
 
+#: label → make_scheduler kwargs for each pipeline variant
+VARIANTS = {
+    "nx": {"backend": "nx"},
+    "compact": {"compute": "python"},
+    "numpy": {"compute": "numpy"},
+}
+
 
 def check(name, tveg, source, delay):
-    """Compare one scheduler across backends; return divergence messages."""
+    """Compare one scheduler across variants; return divergence messages."""
     problems = []
     results = {
-        b: make_scheduler(name, backend=b).run(tveg, source, delay)
-        for b in ("nx", "compact")
+        label: make_scheduler(name, **kwargs).run(tveg, source, delay)
+        for label, kwargs in VARIANTS.items()
     }
-    nx_r, c_r = results["nx"], results["compact"]
-    for key in ("aux_nodes", "aux_edges", "dts_points", "dcs_levels",
-                "steiner_expansions", "tree_cost"):
-        if nx_r.info.get(key) != c_r.info.get(key):
+    ref = results["nx"]
+    for label in ("compact", "numpy"):
+        cur = results[label]
+        for key in ("aux_nodes", "aux_edges", "dts_points", "dcs_levels",
+                    "steiner_expansions", "tree_cost"):
+            if ref.info.get(key) != cur.info.get(key):
+                problems.append(
+                    f"{name}: info[{key!r}] diverges — "
+                    f"nx={ref.info.get(key)!r} {label}={cur.info.get(key)!r}"
+                )
+        if ref.schedule.transmissions != cur.schedule.transmissions:
             problems.append(
-                f"{name}: info[{key!r}] diverges — "
-                f"nx={nx_r.info.get(key)!r} compact={c_r.info.get(key)!r}"
+                f"{name}: schedules diverge — nx has "
+                f"{ref.schedule.num_transmissions} transmissions "
+                f"(cost {ref.schedule.total_cost!r}), {label} has "
+                f"{cur.schedule.num_transmissions} "
+                f"(cost {cur.schedule.total_cost!r})"
             )
-    if nx_r.schedule.transmissions != c_r.schedule.transmissions:
-        problems.append(
-            f"{name}: schedules diverge — nx has "
-            f"{nx_r.schedule.num_transmissions} transmissions "
-            f"(cost {nx_r.schedule.total_cost!r}), compact has "
-            f"{c_r.schedule.num_transmissions} "
-            f"(cost {c_r.schedule.total_cost!r})"
-        )
     return problems
 
 
@@ -64,7 +74,7 @@ def main(argv=None):
             print(f"BACKEND DIVERGENCE: {p}", file=sys.stderr)
         return 1
     print("# backends agree: eedcb and fr-eedcb schedules identical under "
-          "nx and compact")
+          "nx, compact, and numpy")
     return 0
 
 

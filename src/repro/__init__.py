@@ -41,7 +41,12 @@ from .algorithms import (
     canonical_scheduler_name,
     make_scheduler,
 )
-from .api import BroadcastPlan, plan_broadcast
+from .api import (
+    BroadcastPlan,
+    BroadcastPlanSet,
+    plan_broadcast,
+    plan_broadcast_many,
+)
 from .channels import (
     AbsentED,
     EDFunction,
@@ -140,7 +145,9 @@ __all__ = [
     "check_feasibility",
     # high-level API
     "plan_broadcast",
+    "plan_broadcast_many",
     "BroadcastPlan",
+    "BroadcastPlanSet",
     # observability
     "obs",
     # algorithms

@@ -14,16 +14,26 @@ The paper's main algorithm for static channels:
 
 On a fading TVEG the DCS weights are the ``w0`` single-hop costs, so the
 identical pipeline doubles as FR-EEDCB's backbone-selection stage.
+
+Stages 2–3 run on one of the interchangeable compute kernels selected by
+``compute=`` (see :mod:`repro.compute`): the pure-stdlib path (the
+bit-for-bit oracle, and the default when nothing is requested) or the
+numpy array kernels.  The auxiliary graph itself is source-independent,
+so built graphs are retained on the TVEG's
+:meth:`~repro.tveg.graph.TVEG.aux_cache` and re-rooted per source — the
+amortization behind :func:`repro.api.plan_broadcast_many`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Hashable, Optional
 
 from .. import obs
 from ..auxgraph.build import build_aux_graph
 from ..auxgraph.compact import build_compact_aux_graph
 from ..auxgraph.extract import extract_schedule
+from ..compute import canonical_compute_name, resolve_compute
 from ..dts.dts import build_dts
 from ..errors import InfeasibleError, SolverError
 from ..schedule.reduce import lower_costs, remove_redundant, upgrade_and_prune
@@ -35,6 +45,45 @@ from .base import Scheduler, SchedulerResult, record_schedule, register
 __all__ = ["EEDCB"]
 
 Node = Hashable
+
+#: execution mode → the representation label reported in result ``info``
+_BACKEND_LABEL = {"python": "compact", "numpy": "numpy", "nx": "nx"}
+
+
+def _resolve_mode(backend: Optional[str], compute) -> str:
+    """Resolve the (deprecated) ``backend=`` / ``compute=`` pair to a mode.
+
+    Returns ``"nx"``, ``"python"``, or ``"numpy"``.  ``backend=`` keeps
+    working for callers that predate the compute layer, with a
+    :class:`DeprecationWarning`; an explicit ``backend="compact"`` or
+    ``backend="nx"`` without a compute spec pins the stdlib kernels, so
+    pre-existing call sites stay byte-identical run-for-run.  So does a
+    bare ``EEDCB()``: the ``"auto"`` preference for numpy is applied by
+    the API/CLI layer (:func:`repro.api.plan_broadcast`), never sprung on
+    direct constructor calls.
+    """
+    if backend is not None:
+        warnings.warn(
+            "the backend= parameter is deprecated; select kernels with "
+            "compute='python'|'numpy'|'auto' instead (backend='nx' remains "
+            "available for cross-checking the networkx construction)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if backend not in ("compact", "nx"):
+            raise SolverError(
+                f"unknown auxgraph backend {backend!r}; "
+                "choose 'compact' or 'nx'"
+            )
+    spec = None if compute is None else canonical_compute_name(compute)
+    if backend == "nx":
+        if spec == "numpy":
+            raise SolverError(
+                "backend='nx' cannot run with compute='numpy'; the networkx "
+                "construction is the stdlib parity oracle"
+            )
+        return "nx"
+    return "python" if spec is None else resolve_compute(spec)
 
 
 @register("eedcb")
@@ -48,11 +97,15 @@ class EEDCB(Scheduler):
         ``"charikar"`` (small instances).
     charikar_level:
         Recursion level when ``memt_method="charikar"``.
+    compute:
+        Kernel selection — ``"python"``, ``"numpy"``, or ``"auto"`` (see
+        :mod:`repro.compute`).  ``None`` (the default) runs the stdlib
+        kernels.  Every choice produces byte-identical schedules, info
+        counters, and work counts; the switch is purely about speed.
     backend:
-        Auxiliary-graph representation: ``"compact"`` (default, the CSR
-        fast path) or ``"nx"`` (the networkx construction).  Both produce
-        identical schedules; the switch exists for cross-checking and
-        benchmarking.
+        Deprecated spelling of the same choice (``"compact"`` = stdlib
+        CSR, ``"nx"`` = the networkx construction kept for
+        cross-checking); superseded by ``compute=``.
     """
 
     def __init__(
@@ -61,19 +114,50 @@ class EEDCB(Scheduler):
         charikar_level: int = 2,
         reduce: bool = True,
         targets=None,
-        backend: str = "compact",
+        backend: Optional[str] = None,
+        compute: Optional[str] = None,
     ):
-        if backend not in ("compact", "nx"):
-            raise SolverError(
-                f"unknown auxgraph backend {backend!r}; "
-                "choose 'compact' or 'nx'"
-            )
+        self._mode = _resolve_mode(backend, compute)
         self._method = memt_method
         self._level = charikar_level
         self._reduce = reduce
-        self._backend = backend
+        self._backend = _BACKEND_LABEL[self._mode]
         #: multicast terminal subset; None = broadcast (the paper's case)
         self._targets = tuple(targets) if targets is not None else None
+
+    def _build_aux(self, tveg: TVEG, source: Node, deadline: float, dts):
+        """Build (or fetch and re-root) the auxiliary graph for ``source``.
+
+        The construction depends only on (TVEG, deadline, targets), so
+        compact-form builds are kept on the TVEG's LRU
+        :meth:`~repro.tveg.graph.TVEG.aux_cache` and re-rooted with
+        :meth:`~repro.auxgraph.compact.CompactAuxGraph.retarget` — a hit
+        skips the single most expensive stage of the pipeline.  The nx
+        mode is exempt (it exists to exercise the construction itself).
+        """
+        if self._mode == "nx":
+            return build_aux_graph(
+                tveg, source, deadline, dts, targets=self._targets
+            )
+        cache = tveg.aux_cache()
+        key = (self._mode, float(deadline), self._targets)
+        hit = cache.get(key)
+        if hit is not None:
+            cache.move_to_end(key)
+            if hit.source == source:
+                return hit
+            return hit.retarget(source, self._targets)
+        if self._mode == "numpy":
+            from ..compute.numpy_backend import build_numpy_aux_graph
+
+            builder = build_numpy_aux_graph
+        else:
+            builder = build_compact_aux_graph
+        aux = builder(tveg, source, deadline, dts, targets=self._targets)
+        cache[key] = aux
+        while len(cache) > TVEG.AUX_CACHE_CAPACITY:
+            cache.popitem(last=False)
+        return aux
 
     def run(
         self,
@@ -105,15 +189,8 @@ class EEDCB(Scheduler):
             with obs.stage(stage_seconds, "dts", "eedcb.dts"):
                 dts = build_dts(tveg.tvg, deadline)
             with obs.stage(stage_seconds, "auxgraph", "eedcb.auxgraph"):
-                builder = (
-                    build_compact_aux_graph
-                    if self._backend == "compact"
-                    else build_aux_graph
-                )
-                aux = builder(
-                    tveg, source, deadline, dts, targets=self._targets
-                )
-                solver_graph = aux if self._backend == "compact" else aux.graph
+                aux = self._build_aux(tveg, source, deadline, dts)
+                solver_graph = aux if self._mode != "nx" else aux.graph
             with obs.stage(
                 stage_seconds, "steiner", "eedcb.steiner", method=self._method
             ):
@@ -124,6 +201,7 @@ class EEDCB(Scheduler):
                     method=self._method,
                     level=self._level,
                     stats=steiner_stats,
+                    compute=self._mode if self._mode == "numpy" else None,
                 )
             with obs.stage(stage_seconds, "extract", "eedcb.extract"):
                 schedule = extract_schedule(aux, edges)
@@ -151,6 +229,7 @@ class EEDCB(Scheduler):
                 "raw_cost": raw_cost,
                 "memt_method": self._method,
                 "backend": self._backend,
+                "compute": "numpy" if self._mode == "numpy" else "python",
                 "stage_seconds": stage_seconds,
             },
         )

@@ -34,7 +34,9 @@ def _greedy_select(cands: List[Candidate]) -> Candidate:
 class Greed(Scheduler):
     """The greedy most-coverage baseline."""
 
-    def __init__(self, power_policy: str = "cover"):
+    def __init__(self, power_policy: str = "cover", compute=None):
+        # compute= is accepted for a uniform scheduler surface; GREED has
+        # no array-kernel stage, so every value runs the same code.
         self._policy = power_policy
 
     def run(
@@ -67,7 +69,8 @@ class Greed(Scheduler):
 class FRGreed(Scheduler):
     """GREED backbone + NLP energy allocation (the paper's FR-GREED)."""
 
-    def __init__(self, power_policy: str = "cover", use_slsqp: bool = True):
+    def __init__(self, power_policy: str = "cover", use_slsqp: bool = True,
+                 compute=None):
         self._inner = Greed(power_policy)
         self._use_slsqp = use_slsqp
 

@@ -36,12 +36,14 @@ answered from that cache instead of recomputed::
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence as SequenceABC
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Hashable, Optional, Tuple, Union
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from . import obs
 from .algorithms.base import canonical_scheduler_name, make_scheduler
 from .channels.models import ChannelModel
+from .compute import resolve_compute
 from .errors import GraphModelError, InfeasibleError
 from .obs.tracer import TraceSnapshot
 from .params import PAPER_PARAMS, PhyParams
@@ -52,7 +54,14 @@ from .traces.model import ContactTrace
 from .tveg.builders import tveg_from_trace
 from .tveg.graph import TVEG
 
-__all__ = ["BroadcastPlan", "plan_broadcast", "plan_config", "plan_cache_key"]
+__all__ = [
+    "BroadcastPlan",
+    "BroadcastPlanSet",
+    "plan_broadcast",
+    "plan_broadcast_many",
+    "plan_config",
+    "plan_cache_key",
+]
 
 Node = Hashable
 Window = Union[float, Tuple[float, float]]
@@ -106,6 +115,49 @@ class BroadcastPlan:
         )
 
 
+@dataclass(frozen=True)
+class BroadcastPlanSet(SequenceABC):
+    """The plans of one :func:`plan_broadcast_many` call, request order.
+
+    A proper sequence — ``len(ps)``, ``ps[i]``, iteration, ``in`` — of
+    :class:`BroadcastPlan` objects.  Each element is exactly what the
+    equivalent single :func:`plan_broadcast` call would have returned
+    (same schedule, info, and manifest ``config_hash``); the set exists
+    because the batch computed them against one shared TVEG/auxiliary
+    graph build.  Round-trips through :mod:`repro.schedule.io` as a
+    ``repro.planset/1`` document.
+    """
+
+    plans: Tuple[BroadcastPlan, ...]
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return BroadcastPlanSet(plans=self.plans[i])
+        return self.plans[i]
+
+    def __iter__(self) -> Iterator[BroadcastPlan]:
+        return iter(self.plans)
+
+    @property
+    def feasible(self) -> bool:
+        """True iff every plan in the set is feasible."""
+        return all(p.feasible for p in self.plans)
+
+    @property
+    def total_cost(self) -> float:
+        """Summed transmission cost over all plans."""
+        return sum(p.total_cost for p in self.plans)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BroadcastPlanSet(plans={len(self.plans)}, "
+            f"feasible={self.feasible})"
+        )
+
+
 def _window_bounds(window: Window, deadline: float) -> Tuple[float, float]:
     """Normalize a window spec: a scalar start means ``deadline`` seconds."""
     if isinstance(window, (int, float)):
@@ -125,6 +177,7 @@ def plan_config(
     window: Optional[Window] = None,
     seed=None,
     params: PhyParams = PAPER_PARAMS,
+    compute: Optional[str] = None,
     **scheduler_kwargs,
 ) -> Dict[str, Any]:
     """The canonical configuration of one :func:`plan_broadcast` call.
@@ -140,6 +193,13 @@ def plan_config(
     ``source=None`` (auto-pick) is part of the identity as-is; the pick is
     deterministic, so the key remains sound without resolving it here (and
     the hit path never has to build a graph to find out).
+
+    ``compute=`` is accepted and deliberately **ignored**: kernel
+    selection is a performance knob with byte-identical output (see
+    :mod:`repro.compute`), so it must never change a plan's identity —
+    a numpy-planned result legitimately answers a stdlib request and
+    vice versa.  (A legacy ``backend=`` in ``scheduler_kwargs`` keeps
+    flowing into the config unchanged, as it always did.)
     """
     algo = canonical_scheduler_name(algorithm)
     if isinstance(trace_or_tveg, TVEG):
@@ -191,6 +251,94 @@ def plan_cache_key(
     return obs.config_hash(plan_config(trace_or_tveg, source, deadline, **kwargs))
 
 
+def _scheduler_kwargs_with_compute(
+    scheduler_kwargs: Dict[str, Any], compute: Optional[str]
+) -> Dict[str, Any]:
+    """The kwargs a plan's scheduler is constructed with.
+
+    Resolves ``compute`` (``None`` → ``"auto"`` → numpy when importable)
+    and injects it — except when a legacy ``backend=`` was passed and no
+    explicit ``compute=`` accompanies it, where injecting the auto choice
+    would override the semantics that legacy spelling pinned.
+    """
+    kwargs = dict(scheduler_kwargs)
+    if "backend" in kwargs and compute is None:
+        return kwargs
+    kwargs["compute"] = resolve_compute(compute)
+    return kwargs
+
+
+def _plan_on_tveg(
+    tveg: TVEG,
+    source: Optional[Node],
+    deadline: float,
+    *,
+    config: Dict[str, Any],
+    seed,
+    compute: Optional[str],
+    cache,
+    key: str,
+    feasible_memo: Optional[Dict[float, List[Node]]] = None,
+) -> BroadcastPlan:
+    """Run one planning request against an already-built TVEG.
+
+    The shared tail of :func:`plan_broadcast` and
+    :func:`plan_broadcast_many` — source auto-pick, scheduler run,
+    feasibility check, manifest, cache store — kept in one place so the
+    batch path is the single path per request, not a reimplementation.
+    ``feasible_memo`` (batch only) caches the auto-pick source list per
+    deadline across requests on the same TVEG.
+    """
+    algo = config["algorithm"]
+    if source is None:
+        feasible = feasible_memo.get(deadline) if feasible_memo is not None else None
+        if feasible is None:
+            feasible = sorted(
+                broadcast_feasible_sources(tveg.tvg, 0.0, deadline)
+            )
+            if feasible_memo is not None:
+                feasible_memo[deadline] = feasible
+        if not feasible:
+            raise InfeasibleError(
+                "no broadcast-feasible source in this window; try another "
+                "window or a larger deadline"
+            )
+        source = feasible[0]
+
+    scheduler = make_scheduler(
+        algo, **_scheduler_kwargs_with_compute(config["scheduler_kwargs"], compute)
+    )
+
+    t0 = time.perf_counter()
+    with obs.span("api.plan_broadcast", algorithm=algo):
+        result = scheduler.run(tveg, source, deadline)
+        report = check_feasibility(
+            tveg, result.schedule, source, deadline, record="final"
+        )
+
+    manifest = obs.run_manifest(
+        config=config,
+        seed=seed,
+        wall_seconds=time.perf_counter() - t0,
+        resolved_source=source,
+    )
+    plan = BroadcastPlan(
+        schedule=result.schedule,
+        feasibility=report,
+        tveg=tveg,
+        source=source,
+        deadline=deadline,
+        algorithm=algo,
+        channel=config["channel"],
+        info=dict(result.info),
+        obs=obs.snapshot() if obs.is_enabled() else None,
+        manifest=manifest,
+    )
+    if cache is not None:
+        cache.put(key, plan)
+    return plan
+
+
 def plan_broadcast(
     trace_or_tveg: Union[ContactTrace, TVEG],
     source: Optional[Node],
@@ -202,6 +350,7 @@ def plan_broadcast(
     seed=None,
     params: PhyParams = PAPER_PARAMS,
     cache=None,
+    compute: Optional[str] = None,
     **scheduler_kwargs,
 ) -> BroadcastPlan:
     """Plan one energy-efficient delay-constrained broadcast in a single call.
@@ -244,6 +393,14 @@ def plan_broadcast(
         byte-identical schedule, cost, and info — without touching a
         scheduler (a memory hit builds no graph at all), a miss computes
         normally and stores the result.
+    compute:
+        Kernel selection: ``"auto"`` (the default for ``None``) runs the
+        numpy array kernels when numpy is importable and the stdlib
+        kernels otherwise; ``"python"`` / ``"numpy"`` pin the choice (an
+        unavailable explicit ``"numpy"`` raises).  Every choice returns
+        byte-identical plans — ``compute`` never enters the config hash.
+        See :mod:`repro.compute`; the ``REPRO_COMPUTE`` environment
+        variable overrides the ``"auto"`` resolution.
     scheduler_kwargs:
         Extra constructor arguments forwarded to the scheduler (e.g.
         ``memt_method="charikar"``).
@@ -256,9 +413,6 @@ def plan_broadcast(
         algorithm=algorithm, channel=channel, window=window, seed=seed,
         params=params, **scheduler_kwargs,
     )
-    algo = config["algorithm"]
-    channel_label = config["channel"]
-    scheduler_kwargs = dict(config["scheduler_kwargs"])
     deadline = float(deadline)
 
     def build_tveg() -> TVEG:
@@ -276,43 +430,115 @@ def plan_broadcast(
         if hit is not None:
             return hit
 
-    tveg = build_tveg()
-    if source is None:
-        feasible = sorted(broadcast_feasible_sources(tveg.tvg, 0.0, deadline))
-        if not feasible:
-            raise InfeasibleError(
-                "no broadcast-feasible source in this window; try another "
-                "window or a larger deadline"
-            )
-        source = feasible[0]
+    return _plan_on_tveg(
+        build_tveg(), source, deadline,
+        config=config, seed=seed, compute=compute, cache=cache, key=key,
+    )
 
-    scheduler = make_scheduler(algo, **scheduler_kwargs)
 
-    t0 = time.perf_counter()
-    with obs.span("api.plan_broadcast", algorithm=algo):
-        result = scheduler.run(tveg, source, deadline)
-        report = check_feasibility(
-            tveg, result.schedule, source, deadline, record="final"
+def plan_broadcast_many(
+    trace_or_tveg: Union[ContactTrace, TVEG],
+    sources: Sequence[Optional[Node]],
+    deadlines: Union[float, Sequence[float]],
+    *,
+    algorithm: str = "eedcb",
+    channel: Union[str, ChannelModel] = "static",
+    window: Optional[Window] = None,
+    seed=None,
+    params: PhyParams = PAPER_PARAMS,
+    cache=None,
+    compute: Optional[str] = None,
+    **scheduler_kwargs,
+) -> BroadcastPlanSet:
+    """Plan many broadcasts on one instance, amortizing the shared builds.
+
+    Semantically exactly ``[plan_broadcast(trace_or_tveg, s, d, ...) for
+    (s, d) in zip(sources, deadlines)]`` — each returned plan carries the
+    same schedule, info, and manifest ``config_hash`` the single call
+    would have produced (the parity suite pins this) — but the expensive
+    shared state is built once, not k times:
+
+    * one TVEG per distinct effective trace window (requests sharing
+      ``_window_bounds(window, deadline)`` share the graph);
+    * one auxiliary-graph build per (deadline, targets) on that TVEG,
+      re-rooted per source via the TVEG's aux cache (the Section VI-A
+      construction is source-independent);
+    * one auto-pick feasible-source computation per deadline.
+
+    This is the natural shape for the time-vs-energy tradeoff sweeps and
+    repeated same-graph broadcasts of the related work: k plans for
+    roughly the cost of one build plus k Steiner runs.
+
+    Parameters mirror :func:`plan_broadcast`; ``sources`` is a sequence
+    (``None`` entries auto-pick), and ``deadlines`` is either one float
+    applied to every source or a sequence matching ``sources``.  Returns
+    a :class:`BroadcastPlanSet` in request order.
+    """
+    src_list = list(sources)
+    if isinstance(deadlines, (int, float)):
+        dl_list = [float(deadlines)] * len(src_list)
+    else:
+        dl_list = [float(d) for d in deadlines]
+    if len(dl_list) != len(src_list):
+        raise ValueError(
+            f"sources and deadlines disagree in length "
+            f"({len(src_list)} vs {len(dl_list)})"
         )
 
-    manifest = obs.run_manifest(
-        config=config,
-        seed=seed,
-        wall_seconds=time.perf_counter() - t0,
-        resolved_source=source,
-    )
-    plan = BroadcastPlan(
-        schedule=result.schedule,
-        feasibility=report,
-        tveg=tveg,
-        source=source,
-        deadline=deadline,
-        algorithm=algo,
-        channel=channel_label,
-        info=dict(result.info),
-        obs=obs.snapshot() if obs.is_enabled() else None,
-        manifest=manifest,
-    )
-    if cache is not None:
-        cache.put(key, plan)
-    return plan
+    configs = [
+        plan_config(
+            trace_or_tveg, s, d,
+            algorithm=algorithm, channel=channel, window=window, seed=seed,
+            params=params, **scheduler_kwargs,
+        )
+        for s, d in zip(src_list, dl_list)
+    ]
+    keys = [obs.config_hash(c) for c in configs]
+
+    # One TVEG per distinct effective trace window.  ``None`` bounds mean
+    # "the input as-is" (a TVEG input, or no window), i.e. a single group.
+    groups: Dict[Optional[Tuple[float, float]], Dict[str, Any]] = {}
+
+    def group_for(deadline: float) -> Dict[str, Any]:
+        bounds = (
+            None
+            if isinstance(trace_or_tveg, TVEG) or window is None
+            else _window_bounds(window, deadline)
+        )
+        g = groups.get(bounds)
+        if g is None:
+            g = {"bounds": bounds, "tveg": None, "feas": {}}
+            groups[bounds] = g
+        return g
+
+    def group_tveg(g: Dict[str, Any]) -> TVEG:
+        if g["tveg"] is None:
+            if isinstance(trace_or_tveg, TVEG):
+                g["tveg"] = trace_or_tveg
+            else:
+                trace = trace_or_tveg
+                if g["bounds"] is not None:
+                    start, end = g["bounds"]
+                    trace = trace.restrict_window(start, end).shift(-start)
+                g["tveg"] = tveg_from_trace(
+                    trace, channel, params=params, seed=seed
+                )
+        return g["tveg"]
+
+    plans: List[BroadcastPlan] = []
+    with obs.span("api.plan_broadcast_many", requests=len(src_list)):
+        for s, d, config, key in zip(src_list, dl_list, configs, keys):
+            g = group_for(d)
+            if cache is not None:
+                hit = cache.lookup(key, lambda: group_tveg(g))
+                if hit is not None:
+                    plans.append(hit)
+                    continue
+            plans.append(
+                _plan_on_tveg(
+                    group_tveg(g), s, d,
+                    config=config, seed=seed, compute=compute,
+                    cache=cache, key=key, feasible_memo=g["feas"],
+                )
+            )
+    return BroadcastPlanSet(plans=tuple(plans))

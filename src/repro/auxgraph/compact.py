@@ -68,6 +68,9 @@ class CompactAuxGraph:
         default_factory=dict
     )
     _index: Optional[Dict[AuxNode, int]] = field(default=None, repr=False)
+    #: graph node → id of its first state node; filled by the builders,
+    #: ``None`` on converted graphs.  Enables :meth:`retarget`.
+    state_base: Optional[Dict[Node, int]] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # sizes (same surface as AuxGraph / nx.DiGraph)
@@ -116,6 +119,54 @@ class CompactAuxGraph:
         lo, hi = self.indptr[i], self.indptr[i + 1]
         return tuple(
             (self.targets[k], self.weights[k]) for k in range(lo, hi)
+        )
+
+    # ------------------------------------------------------------------
+    # retargeting (the batch-planning amortization)
+    # ------------------------------------------------------------------
+    def retarget(
+        self, source: Node, targets: Optional[Tuple[Node, ...]] = None
+    ) -> "CompactAuxGraph":
+        """The same auxiliary graph, re-rooted at a different source.
+
+        The Section VI-A construction depends only on the TVEG and the
+        deadline — the source merely selects the root state node and
+        drops itself from the terminal set — so a built graph can serve
+        every source.  Returns a shallow copy sharing all arrays with
+        ``self``; only root/terminal bookkeeping is recomputed, exactly
+        as the builder would have produced it.  This is what lets
+        ``plan_broadcast_many`` pay for one build across k sources.
+        """
+        from dataclasses import replace
+
+        if self.state_base is None:
+            raise GraphModelError(
+                "retarget requires a builder-produced graph "
+                "(state_base is unset on converted graphs)"
+            )
+        if source not in self.state_base:
+            raise GraphModelError(f"unknown source {source!r}")
+        if targets is not None:
+            unknown = [t for t in targets if t not in self.state_base]
+            if unknown:
+                raise GraphModelError(f"unknown targets {unknown!r}")
+        wanted = (
+            tuple(n for n in self.dts.nodes if n != source)
+            if targets is None
+            else tuple(n for n in targets if n != source)
+        )
+        return replace(
+            self,
+            source=source,
+            root=state_node(source, 0),
+            root_index=self.state_base[source],
+            terminals=tuple(
+                state_node(n, len(self.dts.points(n)) - 1) for n in wanted
+            ),
+            terminal_indices=tuple(
+                self.state_base[n] + len(self.dts.points(n)) - 1
+                for n in wanted
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -310,4 +361,5 @@ def build_compact_aux_graph(
         root_index=state_base[source],
         terminal_indices=terminal_indices,
         cost_sets=cost_sets,
+        state_base=state_base,
     )

@@ -30,6 +30,7 @@ from typing import List, Optional
 
 from . import obs
 from .algorithms import SCHEDULERS, canonical_scheduler_name, make_scheduler
+from .compute import COMPUTE_BACKENDS, resolve_compute
 from .errors import InfeasibleError, ReproError, SolverError
 from .experiments import (
     ExperimentConfig,
@@ -136,7 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("--backend", choices=("compact", "nx"), default=None,
                    help="auxiliary-graph backend for eedcb/fr-eedcb "
-                   "(default: compact)")
+                   "(deprecated; use --compute, keeping nx for cross-checks)")
+    c.add_argument("--compute", choices=COMPUTE_BACKENDS, default=None,
+                   help="kernel implementation for the scheduler hot path "
+                   "(default: auto — numpy when importable; the schedule is "
+                   "byte-identical either way)")
     c.add_argument("--save", default=None,
                    help="also write the schedule to this CSV file")
     _add_obs_flags(c)
@@ -158,7 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
                    "per CPU); results are bit-identical for any value")
     m.add_argument("--backend", choices=("compact", "nx"), default=None,
                    help="auxiliary-graph backend for eedcb/fr-eedcb "
-                   "(default: compact)")
+                   "(deprecated; use --compute, keeping nx for cross-checks)")
+    m.add_argument("--compute", choices=COMPUTE_BACKENDS, default=None,
+                   help="kernel implementation for the scheduler hot path "
+                   "(default: auto — numpy when importable; the schedule is "
+                   "byte-identical either way)")
     m.add_argument("--schedule-file", default=None,
                    help="simulate this saved schedule instead of rescheduling")
     _add_obs_flags(m)
@@ -199,6 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--backend", choices=("compact", "nx"), default="compact",
                    help="auxiliary-graph backend for the scheduler ops "
                    "(default: compact)")
+    b.add_argument("--compute", choices=COMPUTE_BACKENDS, default=None,
+                   help="kernel implementation for the scheduler ops; when "
+                   "set it supersedes --backend (default: the stdlib python "
+                   "path, matching committed baselines)")
     b.add_argument("--strict-ops", action="store_true",
                    help="fail the gate when a tier-1 op present in the "
                    "baseline is missing from this run")
@@ -216,8 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     v = sub.add_parser(
         "serve", parents=[common],
-        help="run the HTTP planning service (POST /plan, GET /healthz, "
-        "GET /metrics, GET /cache/stats)",
+        help="run the HTTP planning service (POST /plan, POST /plan_many, "
+        "GET /healthz, GET /metrics, GET /cache/stats)",
     )
     v.add_argument("traces", nargs="*", metavar="TRACE",
                    help="trace files to host (CRAWDAD or CSV), addressable "
@@ -280,8 +293,13 @@ def _prepare(args):
         source = feasible[0]
     kwargs = {"seed": args.seed} if "rand" in args.algorithm else {}
     backend = getattr(args, "backend", None)
+    compute = getattr(args, "compute", None)
     if backend and args.algorithm in ("eedcb", "fr-eedcb"):
         kwargs["backend"] = backend
+    if compute is not None or not backend:
+        # Mirror the API default: auto-resolve the kernel unless a legacy
+        # --backend alone pinned the classic semantics.
+        kwargs["compute"] = resolve_compute(compute)
     scheduler = make_scheduler(args.algorithm, **kwargs)
     return tveg, source, scheduler
 
@@ -413,7 +431,8 @@ def _cmd_bench(args) -> int:
     old_ledger = obs.set_ledger(None)
     try:
         doc = bench.run_bench(quick=args.quick, repeats=args.repeats,
-                              num_nodes=args.nodes, backend=args.backend)
+                              num_nodes=args.nodes, backend=args.backend,
+                              compute=args.compute)
     finally:
         obs.set_ledger(old_ledger)
     frac = doc["overhead"]["estimated_fraction_of_eedcb"]
@@ -495,8 +514,8 @@ def _cmd_serve(args) -> int:
     host, port = srv.server_address[:2]
     print(f"# serving on http://{host}:{port}  "
           f"(traces: {', '.join(service.trace_names())})")
-    print("# POST /plan | GET /healthz | GET /metrics | GET /cache/stats — "
-          "Ctrl-C to stop", flush=True)
+    print("# POST /plan | POST /plan_many | GET /healthz | GET /metrics | "
+          "GET /cache/stats — Ctrl-C to stop", flush=True)
     try:
         srv.serve_forever()
     except KeyboardInterrupt:

@@ -1,0 +1,707 @@
+"""Array-native kernels for the sweep/DCS/Steiner hot path.
+
+Three stages of the EEDCB pipeline dominate ``eedcb_run`` (the auxiliary
+graph build is ~80 % of it at N=50): the per-node timeline sweeps plus
+contact-cost evaluation, the DCS level construction, and the greedy
+directed-Steiner expansion.  This module reimplements them as batched
+numpy operations while reproducing the stdlib path **byte for byte**:
+
+* :func:`node_components` replaces the event-by-event
+  :class:`~repro.temporal.sweep.NodeSweep` with per-node *contact
+  component arrays* — one canonically sorted ``(cost, start, end,
+  neighbor)`` row per τ-eroded adjacency component, costs taken from the
+  TVEG's shared per-contact cost cache so they are the same float objects
+  the point-query path produces.
+* :func:`build_numpy_aux_graph` derives every DCS and every auxiliary
+  node/edge from those arrays with ``searchsorted`` / cumulative-sum
+  queries instead of per-entry Python loops, emitting the exact node ids,
+  edge order, and weights of
+  :func:`~repro.auxgraph.compact.build_compact_aux_graph` (whose module
+  docstring explains why insertion order is part of the contract).
+* :func:`greedy_incremental_dst_numpy` runs the same incremental
+  multi-source Dijkstra as
+  :func:`~repro.steiner.dst.greedy_incremental_dst` but decodes each
+  settled CSR row with two bulk ``tolist`` calls and relaxes over native
+  ints and floats (auxiliary rows are short, so batch decoding beats both
+  per-element ``array`` indexing and per-row vectorization).  The heap
+  receives the same (distance, node) multiset, so the pop sequence — and
+  with it the ``expansions`` counter — is identical.
+
+Byte-identity has one precondition: the distance provider must certify
+``constant_within_contacts`` (the standard trace pipeline does), because
+the component arrays evaluate each contact's cost once at its start.
+:func:`build_numpy_aux_graph` delegates to the stdlib builder otherwise.
+
+Nothing here imports at package-import time — ``import numpy`` happens
+only when a numpy kernel is actually requested, keeping the stdlib path
+self-sufficient.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..auxgraph.compact import CompactAuxGraph, build_compact_aux_graph
+from ..auxgraph.model import AuxNode, state_node, tx_node
+from ..dts.dts import DiscreteTimeSet, build_dts
+from ..errors import GraphModelError, InfeasibleError
+from ..tveg.costsets import DiscreteCostSet
+from ..tveg.graph import TVEG
+
+__all__ = [
+    "node_components",
+    "NumpyAuxGraph",
+    "build_numpy_aux_graph",
+    "greedy_incremental_dst_numpy",
+    "round_down_many",
+    "level_index_many",
+]
+
+Node = Hashable
+Edge = Tuple[AuxNode, AuxNode]
+
+
+class NodeComponents:
+    """One node's contact components in canonical DCS order.
+
+    Rows are the τ-eroded adjacency components of every incident edge,
+    sorted by ``(cost, repr(neighbor))`` — the exact
+    :func:`~repro.tveg.costsets._sorted_entries` key.  At any instant at
+    most one component per neighbor is active (interval sets are
+    normalized), and distinct neighbors have distinct ``repr``, so the
+    *active subset* of this canonical order is precisely the entry order
+    of the stdlib-built :class:`~repro.tveg.costsets.DiscreteCostSet`.
+    """
+
+    __slots__ = ("costs", "starts", "ends", "neighbors", "hi")
+
+    def __init__(self, costs, starts, ends, neighbors, hi):
+        self.costs = costs          #: (C,) float64, ascending
+        self.starts = starts        #: (C,) float64 component starts
+        self.ends = ends            #: (C,) float64 component ends
+        self.neighbors = neighbors  #: list of C neighbor labels
+        #: (C,) int64 — per row ``j``, the count of canonical rows with
+        #: cost ≤ ``costs[j]`` (``bisect_right`` of each cost in the cost
+        #: array); the DCS ``round_down`` boundary used for coverage counts
+        self.hi = hi
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+
+def node_components(tveg: TVEG, node: Node) -> NodeComponents:
+    """The node's canonical contact-component arrays (cached on the TVEG).
+
+    Costs are evaluated once per component at its start instant through
+    :meth:`~repro.tveg.graph.TVEG.contact_cost`, which shares the TVEG's
+    per-contact cost cache with the sweep and point-query paths — so every
+    cost here is bit-for-bit the float the stdlib path computes.  Requires
+    ``tveg.cost_cacheable`` (checked by the caller); components with a
+    non-finite cost are dropped, matching the stdlib entry filter.
+    """
+    cache = tveg.compute_cache()
+    key = ("components", node)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    tvg = tveg.tvg
+    raw: List[Tuple[float, str, float, float, Node]] = []
+    for other in tvg.incident(node):
+        for s, e in tvg.adjacency_set(node, other).pairs:
+            # Erosion preserves component starts, so ``s`` is also the
+            # presence-interval start — the shared cost-cache key.
+            c = tveg.contact_cost(node, other, s, s)
+            if math.isfinite(c):
+                raw.append((c, repr(other), s, e, other))
+    raw.sort(key=lambda item: (item[0], item[1]))
+    costs = np.array([r[0] for r in raw], dtype=np.float64)
+    comp = NodeComponents(
+        costs=costs,
+        starts=np.array([r[2] for r in raw], dtype=np.float64),
+        ends=np.array([r[3] for r in raw], dtype=np.float64),
+        neighbors=[r[4] for r in raw],
+        hi=np.searchsorted(costs, costs, side="right").astype(np.int64),
+    )
+    cache[key] = comp
+    return comp
+
+
+class LazyAuxNodes(Sequence):
+    """The auxiliary node-id → tuple mapping, materialized on demand.
+
+    The numpy build knows every transmission node as three flat arrays
+    ``(owner, point, level)``; creating millions of ``("tx", node, l, k)``
+    tuples eagerly would cost more than the rest of the build combined.
+    The Steiner solver only ever decodes the handful of ids that end up on
+    tree edges, so this sequence builds each tuple at access time instead.
+    State-node tuples (few) are materialized eagerly.
+    """
+
+    __slots__ = ("_state", "_labels", "_tx_owner", "_tx_l", "_tx_k")
+
+    def __init__(self, state_nodes, labels, tx_owner, tx_l, tx_k):
+        self._state = state_nodes
+        self._labels = labels
+        self._tx_owner = tx_owner
+        self._tx_l = tx_l
+        self._tx_k = tx_k
+
+    def __len__(self) -> int:
+        return len(self._state) + len(self._tx_l)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(len(self)))]
+        n = len(self)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(i)
+        s = len(self._state)
+        if i < s:
+            return self._state[i]
+        j = i - s
+        return tx_node(
+            self._labels[self._tx_owner[j]],
+            int(self._tx_l[j]),
+            int(self._tx_k[j]),
+        )
+
+
+@dataclass
+class NumpyAuxGraph(CompactAuxGraph):
+    """A :class:`CompactAuxGraph` whose big sequences are numpy arrays.
+
+    Structurally identical to the stdlib-built graph; the only behavioral
+    addition is an arithmetic :meth:`index_of` — node ids are recovered
+    from ``state_base`` and the flat transmission arrays instead of a
+    materialized ``{tuple: id}`` dict, because hashing millions of lazy
+    tuples would cost more than the vectorized build saved.
+    """
+
+    #: per-graph-node slice bounds into the flat tx arrays (len = nodes+1)
+    tx_offsets: Optional["np.ndarray"] = field(default=None, repr=False)
+    _label_index: Optional[Dict[Node, int]] = field(default=None, repr=False)
+    #: total DCS levels, counted during the build (same sum the base-class
+    #: property would take over every cost set)
+    dcs_level_count: Optional[int] = field(default=None, repr=False)
+
+    @property
+    def dcs_levels(self) -> int:
+        if self.dcs_level_count is not None:
+            return self.dcs_level_count
+        return CompactAuxGraph.dcs_levels.fget(self)
+
+    def index_of(self, aux: AuxNode) -> int:
+        kind = aux[0] if isinstance(aux, tuple) and aux else None
+        if kind == "state" and len(aux) == 3:
+            base = self.state_base.get(aux[1])
+            if base is not None and 0 <= aux[2] < len(
+                self.dts.points(aux[1])
+            ):
+                return base + aux[2]
+        elif kind == "tx" and len(aux) == 4:
+            ni = self._label_index.get(aux[1])
+            if ni is not None:
+                nodes: LazyAuxNodes = self.aux_nodes
+                lo, hi = int(self.tx_offsets[ni]), int(self.tx_offsets[ni + 1])
+                tx_l, tx_k = nodes._tx_l, nodes._tx_k
+                # tx nodes are point-major, level-minor within each node
+                a = lo + int(np.searchsorted(tx_l[lo:hi], aux[2], "left"))
+                b = lo + int(np.searchsorted(tx_l[lo:hi], aux[2], "right"))
+                j = a + int(np.searchsorted(tx_k[a:b], aux[3], "left"))
+                if j < b and tx_k[j] == aux[3]:
+                    return len(nodes._state) + j
+        raise KeyError(aux)
+
+    def edge_weight(self, u: AuxNode, v: AuxNode) -> float:
+        ui, vi = self.index_of(u), self.index_of(v)
+        lo, hi = int(self.indptr[ui]), int(self.indptr[ui + 1])
+        hits = np.nonzero(self.targets[lo:hi] == vi)[0]
+        if len(hits):
+            return float(self.weights[lo + int(hits[0])])
+        raise GraphModelError(f"no auxiliary edge {u!r} → {v!r}")
+
+    def tree_cost(self, edges) -> float:
+        """Summed edge weights without per-edge id recovery.
+
+        Only state → transmission edges carry weight, and that weight is
+        by construction the cost level the transmission node's ``(l, k)``
+        indexes in the owner's cost set — the same float
+        ``edge_weight`` would return.  Adding 0.0 for the waiting and
+        coverage edges is exact, so skipping them reproduces the
+        left-fold sum of the generic path bit for bit.
+        """
+        total = 0.0
+        cost_sets = self.cost_sets
+        for _u, v in edges:
+            if v[0] == "tx":
+                total += cost_sets[(v[1], v[2])].entries[v[3]][0]
+        return float(total)
+
+
+@obs.span("auxgraph.numpy_build")
+def build_numpy_aux_graph(
+    tveg: TVEG,
+    source: Node,
+    deadline: Optional[float] = None,
+    dts: Optional[DiscreteTimeSet] = None,
+    targets: Optional[Tuple[Node, ...]] = None,
+) -> CompactAuxGraph:
+    """Build the Section VI-A auxiliary graph with batched array ops.
+
+    Produces a :class:`~repro.auxgraph.compact.CompactAuxGraph` whose node
+    numbering, CSR edge order, weights, and ``cost_sets`` are identical to
+    :func:`~repro.auxgraph.compact.build_compact_aux_graph`'s — verified
+    element-for-element by the compute-parity suite.  When the TVEG cannot
+    certify per-contact-constant costs the stdlib builder is used instead
+    (the batched cost evaluation could not guarantee bit-identity there).
+    """
+    if not tveg.cost_cacheable:
+        return build_compact_aux_graph(tveg, source, deadline, dts,
+                                       targets=targets)
+    if not tveg.tvg.has_node(source):
+        raise GraphModelError(f"unknown source {source!r}")
+    if targets is not None:
+        unknown = [t for t in targets if not tveg.tvg.has_node(t)]
+        if unknown:
+            raise GraphModelError(f"unknown targets {unknown!r}")
+    end = tveg.horizon if deadline is None else min(tveg.horizon, deadline)
+    d = dts if dts is not None else build_dts(tveg.tvg, end)
+    tau = tveg.tau
+
+    labels = list(tveg.nodes)
+    pts_of: Dict[Node, np.ndarray] = {}
+    raw_pts: Dict[Node, Tuple[float, ...]] = {}
+    state_base: Dict[Node, int] = {}
+    state_nodes: List[AuxNode] = []
+    for node in labels:
+        pts = d.points(node)
+        raw_pts[node] = pts
+        pts_of[node] = np.asarray(pts, dtype=np.float64)
+        state_base[node] = len(state_nodes)
+        state_nodes.extend(state_node(node, l) for l in range(len(pts)))
+    S = len(state_nodes)
+
+    state_cnt_parts: List[np.ndarray] = []
+    state_tgt_parts: List[np.ndarray] = []
+    state_w_parts: List[np.ndarray] = []
+    state_time_parts: List[np.ndarray] = []
+    tx_cnt_parts: List[np.ndarray] = []
+    tx_tgt_parts: List[np.ndarray] = []
+    tx_time_parts: List[np.ndarray] = []
+    tx_owner_parts: List[np.ndarray] = []
+    tx_l_parts: List[np.ndarray] = []
+    tx_k_parts: List[np.ndarray] = []
+    tx_w_by_state: Dict[int, np.ndarray] = {}
+    cost_sets: Dict[Tuple[Node, int], DiscreteCostSet] = {}
+    tx_total = 0
+    dcs_level_total = 0
+
+    for node_idx, node in enumerate(labels):
+        pts = pts_of[node]
+        P = len(pts)
+        base = state_base[node]
+        state_time_parts.append(pts)
+        comp = node_components(tveg, node)
+        C = len(comp)
+
+        wait_rows = np.arange(max(P - 1, 0), dtype=np.int64)
+        wait_tgts = base + wait_rows + 1
+
+        a = (
+            np.searchsorted(pts, comp.starts, side="left")
+            if C
+            else np.zeros(0, dtype=np.int64)
+        )
+        b = (
+            np.searchsorted(pts, comp.ends, side="left")
+            if C
+            else np.zeros(0, dtype=np.int64)
+        )
+        # Active cells of this node, sparsely: component j is adjacent at
+        # point l  ⇔  a[j] <= l < b[j], so each component contributes one
+        # contiguous run of points.  Everything below works on the ~8 % of
+        # (point, component) cells that are actually active instead of
+        # cumsum/mask passes over the dense matrix.
+        lens = np.maximum(b - a, 0)
+        tot = int(lens.sum())
+
+        if tot == 0 or P == 0:
+            state_cnt_parts.append(np.bincount(wait_rows, minlength=P)
+                                   .astype(np.int64))
+            state_tgt_parts.append(wait_tgts)
+            state_w_parts.append(np.zeros(len(wait_rows)))
+            continue
+
+        # Cells in component-major order: j_rep[i], l_rep[i] enumerate
+        # each component's run of active points.
+        j_rep = np.repeat(np.arange(C, dtype=np.int64), lens)
+        run_off = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(lens)]
+        )
+        l_rep = (
+            np.arange(tot, dtype=np.int64)
+            - np.repeat(run_off[:-1], lens)
+            + np.repeat(a, lens)
+        )
+
+        # Reception state id and validity per active cell: the neighbor's
+        # state at exactly t + tau, invalid when its DTS lacks that point
+        # (the provably-useless coverage the stdlib builder drops too).
+        # Exact float equality, matching auxgraph.build._point_index.
+        ok_parts: List[np.ndarray] = []
+        rs_parts: List[np.ndarray] = []
+        for j in range(C):
+            lo, hi = int(a[j]), int(b[j])
+            if hi <= lo:
+                continue
+            npts = pts_of[comp.neighbors[j]]
+            t_recv = pts[lo:hi] + tau
+            f = np.searchsorted(npts, t_recv, side="left")
+            ok = f < len(npts)
+            f_safe = np.where(ok, f, 0)
+            ok &= npts[f_safe] == t_recv
+            ok_parts.append(ok)
+            rs_parts.append(state_base[comp.neighbors[j]] + f_safe)
+
+        # Point-major, canonical-minor cell order — the stdlib creation
+        # order.  A stable sort on l alone suffices: within a point, the
+        # component-major order already lists canonical indices ascending.
+        perm = np.argsort(l_rep, kind="stable")
+        l_s = l_rep[perm]
+        j_s = j_rep[perm]
+        ok_s = np.concatenate(ok_parts)[perm]
+        rs_s = np.concatenate(rs_parts)[perm]
+
+        # cnt for cell (l, j) = |{valid receivers at l with canonical
+        # index < hi[j]}| — the stdlib ``bisect_right(r_costs, w)``.  With
+        # cells flattened to strictly increasing keys l·(C+1)+j, each
+        # per-point prefix count is a searchsorted range query against the
+        # valid subsequence (``hi >= 1`` always, so ``<= hi - 1``).
+        vkey = (l_s * (C + 1) + j_s)[ok_s]
+        row_key = l_s * (C + 1)
+        vlo = np.searchsorted(vkey, row_key, side="left")
+        cnt_s = (
+            np.searchsorted(vkey, row_key + comp.hi[j_s] - 1, side="right")
+            - vlo
+        )
+
+        # A transmission at pts[l] must complete by the deadline.
+        can_tx = (pts + tau) <= end
+        keep = cnt_s > 0 if can_tx.all() else (cnt_s > 0) & can_tx[l_s]
+
+        # Transmission nodes in creation order: point-major, level-minor.
+        l_arr = l_s[keep]
+        j_arr = j_s[keep]
+        E = len(l_arr)
+        # k = rank of the cell among its point's active cells (exclusive
+        # count of active components with smaller canonical index).
+        # ``l_s`` is sorted, so each point's run start is read off the
+        # run boundaries instead of a per-cell binary search.
+        cell_pos = np.arange(tot, dtype=np.int64)
+        run_change = np.flatnonzero(l_s[1:] != l_s[:-1]) + 1
+        starts = np.concatenate([np.zeros(1, dtype=np.int64), run_change])
+        run_counts = np.diff(np.concatenate([starts, [tot]]))
+        row_start = np.repeat(starts, run_counts)
+        k_arr = (cell_pos - row_start)[keep]
+        w_arr = comp.costs[j_arr]
+        cnt_arr = cnt_s[keep]
+        ids = S + tx_total + np.arange(E, dtype=np.int64)
+        tx_total += E
+
+        # State rows: the waiting edge first, then this row's transmission
+        # edges in creation order — the stdlib insertion order.
+        rows = np.concatenate([wait_rows, l_arr])
+        keys = np.concatenate(
+            [np.full(len(wait_rows), -1, dtype=np.int64),
+             np.arange(E, dtype=np.int64)]
+        )
+        tgts = np.concatenate([wait_tgts, ids])
+        wgts = np.concatenate([np.zeros(len(wait_rows)), w_arr])
+        order = np.lexsort((keys, rows))
+        state_cnt_parts.append(np.bincount(rows, minlength=P)
+                               .astype(np.int64))
+        state_tgt_parts.append(tgts[order])
+        state_w_parts.append(wgts[order])
+
+        # Transmission rows: each level's coverage is the first
+        # ``cnt`` valid receivers of its point, in canonical (DCS entry)
+        # order — the valid subsequence is already point-major/canonical-
+        # minor, and ``vlo`` marks each point's start in it, so one flat
+        # indexing expression gathers every coverage list.
+        vs = rs_s[ok_s]
+        row_voff = vlo[keep]
+        total_recv = int(cnt_arr.sum())
+        excl = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(cnt_arr)]
+        )[:-1]
+        pos = np.arange(total_recv, dtype=np.int64) - np.repeat(excl, cnt_arr)
+        tx_tgt_parts.append(vs[np.repeat(row_voff, cnt_arr) + pos])
+        tx_cnt_parts.append(cnt_arr)
+        tx_time_parts.append(pts[l_arr])
+        tx_owner_parts.append(np.full(E, node_idx, dtype=np.int64))
+        tx_l_parts.append(l_arr)
+        tx_k_parts.append(k_arr)
+
+        # Cost sets for the points that emitted a transmission node.  The
+        # entries tuple only changes at component boundaries, so one tuple
+        # is built per constant-active segment and shared (exactly the
+        # sweep's event-free-gap reuse).
+        # ``l_arr`` is sorted (point-major creation order), so dedup is a
+        # neighbor comparison rather than a hash/sort pass.
+        kept_cols = (
+            l_arr[np.concatenate([[True], l_arr[1:] != l_arr[:-1]])]
+            if E
+            else l_arr
+        )
+        if len(kept_cols):
+            boundaries = np.unique(np.concatenate(
+                [np.clip(a, 0, P), np.clip(b, 0, P), [0, P]]
+            ))
+            seg = np.searchsorted(boundaries, kept_cols, side="right") - 1
+            ent_cache: Dict[int, Tuple] = {}
+            for l, s in zip(kept_cols.tolist(), seg.tolist()):
+                ent = ent_cache.get(s)
+                if ent is None:
+                    js = np.flatnonzero((a <= l) & (l < b))
+                    ent = tuple(
+                        (float(comp.costs[j]), comp.neighbors[j])
+                        for j in js.tolist()
+                    )
+                    ent_cache[s] = ent
+                cost_sets[(node, l)] = DiscreteCostSet(
+                    node=node, time=float(pts[l]), entries=ent
+                )
+                dcs_level_total += len(ent)
+
+    counts = np.concatenate(
+        state_cnt_parts + tx_cnt_parts
+        if (state_cnt_parts or tx_cnt_parts)
+        else [np.zeros(0, dtype=np.int64)]
+    )
+    indptr = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+    targets_arr = (
+        np.concatenate(state_tgt_parts + tx_tgt_parts)
+        if (state_tgt_parts or tx_tgt_parts)
+        else np.zeros(0, dtype=np.int64)
+    )
+    weights_arr = (
+        np.concatenate(
+            state_w_parts + [np.zeros(int(c.sum())) for c in tx_cnt_parts]
+        )
+        if (state_w_parts or tx_cnt_parts)
+        else np.zeros(0)
+    )
+    times = (
+        np.concatenate(state_time_parts + tx_time_parts)
+        if (state_time_parts or tx_time_parts)
+        else np.zeros(0)
+    )
+    aux_nodes = LazyAuxNodes(
+        state_nodes,
+        labels,
+        np.concatenate(tx_owner_parts) if tx_owner_parts
+        else np.zeros(0, dtype=np.int64),
+        np.concatenate(tx_l_parts) if tx_l_parts
+        else np.zeros(0, dtype=np.int64),
+        np.concatenate(tx_k_parts) if tx_k_parts
+        else np.zeros(0, dtype=np.int64),
+    )
+    tx_counts = np.zeros(len(labels), dtype=np.int64)
+    for part in tx_owner_parts:
+        if len(part):
+            tx_counts[int(part[0])] = len(part)
+    tx_offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(tx_counts)]
+    )
+
+    wanted = (
+        tuple(n for n in labels if n != source)
+        if targets is None
+        else tuple(n for n in targets if n != source)
+    )
+    obs.gauge("auxgraph.nodes", len(aux_nodes))
+    obs.gauge("auxgraph.edges", len(targets_arr))
+    obs.gauge("auxgraph.dcs_levels", dcs_level_total)
+    obs.counter("auxgraph.numpy_builds")
+    return NumpyAuxGraph(
+        indptr=indptr,
+        targets=targets_arr,
+        weights=weights_arr,
+        aux_nodes=aux_nodes,
+        times=times,
+        dts=d,
+        source=source,
+        root=state_node(source, 0),
+        terminals=tuple(
+            state_node(n, len(raw_pts[n]) - 1) for n in wanted
+        ),
+        root_index=state_base[source],
+        terminal_indices=tuple(
+            state_base[n] + len(raw_pts[n]) - 1 for n in wanted
+        ),
+        cost_sets=cost_sets,
+        state_base=state_base,
+        tx_offsets=tx_offsets,
+        _label_index={n: i for i, n in enumerate(labels)},
+        dcs_level_count=dcs_level_total,
+    )
+
+
+def greedy_incremental_dst_numpy(
+    graph: CompactAuxGraph,
+    root: AuxNode,
+    terminals: Sequence[AuxNode],
+    stats: Optional[Dict[str, int]] = None,
+) -> Set[Edge]:
+    """The incremental multi-source Dijkstra with batched row decoding.
+
+    Identical search to :func:`~repro.steiner.dst.greedy_incremental_dst`
+    on a :class:`~repro.auxgraph.compact.CompactAuxGraph` — same pop
+    sequence, same ``expansions`` / ``grafts`` counters, same tree.  The
+    auxiliary graph's rows are short (a state node links its waiting edge
+    plus the point's transmission levels; a transmission node its covered
+    receivers), so the win over the stdlib loop is not per-row
+    vectorization — whose call overhead would dominate rows this size —
+    but decoding each settled row from the CSR arrays in two bulk
+    ``tolist`` calls and relaxing over native ints and floats, instead of
+    per-element ``array`` indexing.  Float arithmetic, improvement
+    checks, and heap pushes are element-for-element those of the stdlib
+    solver, so the heap multiset — hence the pop order — matches bit for
+    bit.
+
+    The tree edges are decoded to tuple form at insertion, in graft order —
+    downstream set-iteration order is part of the parity contract, so the
+    result set must be built exactly the way the stdlib solver builds its
+    own (same elements *and* same insertion history).
+    """
+    nodes = graph.aux_nodes
+    indptr = np.asarray(graph.indptr, dtype=np.int64)
+    tgt = np.asarray(graph.targets, dtype=np.int64)
+    wts = np.asarray(graph.weights, dtype=np.float64)
+    iptr = indptr.tolist()
+    root_i = (
+        graph.root_index if root == graph.root else graph.index_of(root)
+    )
+    if tuple(terminals) == graph.terminals:
+        uncovered = set(graph.terminal_indices)
+    else:
+        uncovered = {graph.index_of(t) for t in terminals if t != root}
+    uncovered.discard(root_i)
+
+    n = len(nodes)
+    INF = float("inf")
+    dist = [INF] * n
+    pred = [-1] * n
+    in_tree = bytearray(n)
+    tree_edges: Set[Edge] = set()
+
+    heap: List[Tuple[float, int]] = []
+    expansions = 0
+    grafts = 0
+
+    def enter_tree(i: int, parent: int) -> None:
+        if in_tree[i]:
+            return
+        in_tree[i] = 1
+        if parent >= 0:
+            tree_edges.add((nodes[parent], nodes[i]))
+        dist[i] = 0.0
+        heapq.heappush(heap, (0.0, i))
+        uncovered.discard(i)
+
+    enter_tree(int(root_i), -1)
+
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    while uncovered:
+        target = -1
+        while heap:
+            dd, u = heappop(heap)
+            if dd > dist[u]:
+                continue  # stale entry
+            expansions += 1
+            if u in uncovered:
+                target = u
+                break
+            lo, hi = iptr[u], iptr[u + 1]
+            for v, w in zip(tgt[lo:hi].tolist(), wts[lo:hi].tolist()):
+                nd = dd + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    pred[v] = u
+                    heappush(heap, (nd, v))
+        if target < 0:
+            first = nodes[next(iter(uncovered))]
+            raise InfeasibleError(
+                f"{len(uncovered)} terminal(s) unreachable from the tree "
+                f"(first: {first!r})"
+            )
+        chain: List[int] = []
+        v = int(target)
+        while v >= 0 and not in_tree[v]:
+            chain.append(v)
+            v = pred[v]
+        for i in reversed(chain):
+            enter_tree(i, pred[i])
+        grafts += 1
+    if stats is not None:
+        stats["expansions"] = stats.get("expansions", 0) + expansions
+        stats["grafts"] = stats.get("grafts", 0) + grafts
+    obs.counter("steiner.expansions", expansions)
+    obs.counter("steiner.grafts", grafts)
+    return tree_edges
+
+
+# ----------------------------------------------------------------------
+# batched DCS queries (searchsorted over per-set level arrays)
+# ----------------------------------------------------------------------
+
+def _level_array(dcs: DiscreteCostSet) -> "np.ndarray":
+    """The cost-level array of one DCS, cached on the instance."""
+    arr = dcs.__dict__.get("_level_array")
+    if arr is None:
+        arr = np.asarray(dcs.costs, dtype=np.float64)
+        # frozen dataclass: cache through __dict__, never mutate fields
+        dcs.__dict__["_level_array"] = arr
+    return arr
+
+
+def round_down_many(dcs: DiscreteCostSet, ws: Sequence[float]) -> List[float]:
+    """``[dcs.round_down(w) for w in ws]`` as one ``searchsorted`` query."""
+    from ..errors import ScheduleError
+
+    levels = _level_array(dcs)
+    qs = np.asarray(list(ws), dtype=np.float64)
+    idx = np.searchsorted(levels, qs, side="right")
+    if len(qs) and int(idx.min()) == 0:
+        w = float(qs[int(np.argmin(idx))])
+        raise ScheduleError(
+            f"cost {w!r} is below the smallest DCS level of node "
+            f"{dcs.node!r} at t={dcs.time!r}"
+        )
+    return [dcs.entries[i - 1][0] for i in idx.tolist()]
+
+
+def level_index_many(dcs: DiscreteCostSet, ws: Sequence[float]) -> List[int]:
+    """``[dcs.level_index(w) for w in ws]`` as one ``searchsorted`` query."""
+    from ..errors import ScheduleError
+
+    levels = _level_array(dcs)
+    qs = np.asarray(list(ws), dtype=np.float64)
+    idx = np.searchsorted(levels, qs, side="left")
+    out: List[int] = []
+    for w, k in zip(qs.tolist(), idx.tolist()):
+        if k >= len(levels) or levels[k] != w:
+            raise ScheduleError(
+                f"{w!r} is not a DCS level of node {dcs.node!r}"
+            )
+        out.append(k)
+    return out

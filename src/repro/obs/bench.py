@@ -56,10 +56,12 @@ TIER1_OPS = (
     "aux_compact_build",
     "steiner_solve",
     "eedcb_run",
+    "eedcb_run_n50",
     "fr_eedcb_run",
     "monte_carlo",
     "plan_cache_hit",
     "batched_plan",
+    "plan_many",
 )
 
 #: counters that are deterministic work measures (gated exactly like times)
@@ -113,19 +115,21 @@ def _build_instance(num_nodes: int, delay: float, seed: int):
 
 def _ops(
     static, fading, source, delay: float, trials: int,
-    backend: str = "compact",
+    backend: str = "compact", compute: Optional[str] = None,
 ) -> List[Tuple[str, Callable[[], Optional[Dict[str, float]]]]]:
     """(name, thunk) pairs; a thunk may return a counters dict.
 
-    ``backend`` selects the auxiliary-graph representation the scheduler
-    ops (``eedcb_run`` / ``fr_eedcb_run``) run on; both backends report
-    identical work counters, which CI cross-checks.  The aux-build and
-    scheduler ops clear the TVEG's DCS/cost caches before each repeat so
-    every timing is a cold build — otherwise the first op to run would warm
-    the memo for the rest and the numbers would depend on suite order.
+    ``compute`` selects the kernel implementation the scheduler and batch
+    ops run on (``None`` → the stdlib ``"python"`` path, matching the
+    committed baselines); ``backend`` keeps selecting the ``nx``
+    cross-check representation.  All selections report identical work
+    counters, which CI cross-checks.  The aux-build and scheduler ops
+    clear the TVEG's DCS/cost caches before each repeat so every timing is
+    a cold build — otherwise the first op to run would warm the memo for
+    the rest and the numbers would depend on suite order.
     """
     from ..algorithms import make_scheduler
-    from ..api import plan_broadcast, plan_cache_key
+    from ..api import plan_broadcast, plan_broadcast_many, plan_cache_key
     from ..auxgraph import build_aux_graph, build_compact_aux_graph
     from ..dts import build_dts
     from ..schedule import check_feasibility
@@ -133,13 +137,22 @@ def _ops(
     from ..sim import run_trials
     from ..steiner import solve_memt
     from ..temporal import earliest_arrivals
+    from ..temporal.reachability import broadcast_feasible_sources
 
+    kernel = compute or "python"
+    if backend == "nx" and compute is None:
+        sched_kwargs: Dict[str, Any] = {"backend": "nx"}
+    else:
+        sched_kwargs = {"compute": kernel}
     dts = build_dts(static.tvg, delay)
     aux = build_aux_graph(static, source, delay, dts)
     schedule = make_scheduler("eedcb").run(static, source, delay).schedule
     plan_cache = PlanCache()
     plan_broadcast(static, source, delay, cache=plan_cache)  # prewarm
     plan_key = plan_cache_key(static, source, delay)
+    many_sources = sorted(
+        broadcast_feasible_sources(static.tvg, 0.0, delay)
+    )[:4]
 
     def dts_build():
         d = build_dts(static.tvg, delay)
@@ -164,14 +177,14 @@ def _ops(
     def eedcb_run():
         static.clear_caches()
         info = make_scheduler(
-            "eedcb", backend=backend
+            "eedcb", **sched_kwargs
         ).run(static, source, delay).info
         return {"steiner_expansions": float(info["steiner_expansions"])}
 
     def fr_eedcb_run():
         fading.clear_caches()
         info = make_scheduler(
-            "fr-eedcb", backend=backend
+            "fr-eedcb", **sched_kwargs
         ).run(fading, source, delay).info
         return {"nlp_iterations": float(info["nlp_iterations"])}
 
@@ -222,6 +235,16 @@ def _ops(
         # asserted in tests/test_service.py).
         return {"requests": 8.0}
 
+    def plan_many():
+        # The batch API: k sources over one shared instance, cold caches —
+        # the acceptance bar is beating k independent plan_broadcast calls
+        # by amortizing the TVEG/DCS/aux construction across the batch.
+        static.clear_caches()
+        planset = plan_broadcast_many(
+            static, many_sources, delay, compute=kernel
+        )
+        return {"requests": float(len(planset))}
+
     return [
         ("dts_build", dts_build),
         ("aux_graph_build", aux_graph_build),
@@ -235,6 +258,7 @@ def _ops(
         ("feasibility_check", feasibility_check),
         ("plan_cache_hit", plan_cache_hit),
         ("batched_plan", batched_plan),
+        ("plan_many", plan_many),
     ]
 
 
@@ -287,14 +311,21 @@ def run_bench(
     num_nodes: Optional[int] = None,
     seed: int = 99,
     backend: str = "compact",
+    compute: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the suite; returns the bench document (see :data:`BENCH_SCHEMA`).
 
-    ``quick`` shrinks the instance and repeat count for CI smoke runs.
-    ``backend`` selects the auxiliary-graph representation for the
-    scheduler ops.  Instrumentation is forced off during timing so the
-    numbers reflect the shipped default configuration.
+    ``quick`` shrinks the instance and repeat count for CI smoke runs (and
+    skips the large ``eedcb_run_n50`` instance, which only full runs
+    time).  ``compute`` selects the kernel implementation for the
+    scheduler and batch ops (``None`` → the stdlib path the committed
+    baselines record; pass ``"numpy"`` to benchmark the array kernels
+    against :file:`benchmarks/baseline_numpy.json`).  ``backend`` keeps
+    selecting the ``nx`` cross-check representation.  Instrumentation is
+    forced off during timing so the numbers reflect the shipped default
+    configuration.
     """
+    from ..compute import resolve_compute
     from .tracer import is_enabled
 
     if is_enabled() or get_ledger().enabled:
@@ -302,32 +333,56 @@ def run_bench(
             "disable tracing and the ledger before benchmarking; the suite "
             "times the default (disabled) configuration"
         )
+    if compute is not None:
+        compute = resolve_compute(compute)
     r = repeats if repeats is not None else (3 if quick else 7)
     n = num_nodes if num_nodes is not None else (12 if quick else 20)
     delay = 2000.0
     trials = 30 if quick else 100
     static, fading, source = _build_instance(n, delay, seed)
 
-    results: Dict[str, Any] = {}
-    eedcb_thunk = None
-    for name, thunk in _ops(static, fading, source, delay, trials, backend):
-        if name == "eedcb_run":
-            eedcb_thunk = thunk
+    def time_op(name: str, thunk, rep: int) -> None:
         times: List[float] = []
         counters: Optional[Dict[str, float]] = None
-        for _ in range(r):
+        for _ in range(rep):
             t0 = time.perf_counter()
             counters = thunk()
             times.append(time.perf_counter() - t0)
         results[name] = {
             "tier1": name in TIER1_OPS,
-            "repeats": r,
+            "repeats": rep,
             "min_ms": min(times) * 1e3,
             "p50_ms": percentile(times, 50.0) * 1e3,
             "p95_ms": percentile(times, 95.0) * 1e3,
             "mean_ms": sum(times) / len(times) * 1e3,
             "counters": counters or {},
         }
+
+    results: Dict[str, Any] = {}
+    eedcb_thunk = None
+    for name, thunk in _ops(static, fading, source, delay, trials, backend,
+                            compute):
+        if name == "eedcb_run":
+            eedcb_thunk = thunk
+        time_op(name, thunk, r)
+
+    if not quick:
+        # The scaling instance: N=50 is where the array kernels earn their
+        # keep (the stdlib path spends tens of seconds here), so cap the
+        # repeats rather than multiply them.
+        from ..algorithms import make_scheduler
+
+        static50, _fading50, source50 = _build_instance(50, delay, seed)
+        kernel50 = compute or "python"
+
+        def eedcb_run_n50():
+            static50.clear_caches()
+            info = make_scheduler(
+                "eedcb", compute=kernel50
+            ).run(static50, source50, delay).info
+            return {"steiner_expansions": float(info["steiner_expansions"])}
+
+        time_op("eedcb_run_n50", eedcb_run_n50, min(r, 2))
 
     overhead = measure_disabled_overhead(
         eedcb_thunk, results["eedcb_run"]["p50_ms"] / 1e3
@@ -337,10 +392,11 @@ def run_bench(
         "quick": quick,
         "calibration_ms": _calibrate(),
         "backend": backend,
+        "compute": compute,
         "manifest": run_manifest(
             config={"num_nodes": n, "delay": delay, "trials": trials,
                     "repeats": r, "seed": seed, "quick": quick,
-                    "backend": backend},
+                    "backend": backend, "compute": compute},
         ),
         "results": results,
         "overhead": overhead,
@@ -372,6 +428,12 @@ def compare(
         return [
             "bench modes differ (quick vs full); regenerate the baseline "
             "with the same mode"
+        ]
+    if current.get("compute") != baseline.get("compute"):
+        return [
+            f"bench kernels differ (compute={current.get('compute')!r} vs "
+            f"baseline {baseline.get('compute')!r}); gate numpy runs "
+            "against benchmarks/baseline_numpy.json"
         ]
     cur_cal = current.get("calibration_ms") or 0.0
     base_cal = baseline.get("calibration_ms") or 0.0

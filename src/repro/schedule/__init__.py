@@ -3,11 +3,16 @@
 from .feasibility import FeasibilityReport, check_feasibility
 from .io import (
     PLAN_SCHEMA,
+    PLANSET_SCHEMA,
     doc_to_plan,
+    doc_to_planset,
     plan_to_doc,
+    planset_to_doc,
     read_plan_json,
+    read_planset_json,
     read_schedule_csv,
     write_plan_json,
+    write_planset_json,
     write_schedule_csv,
 )
 from .probability import (
@@ -39,5 +44,10 @@ __all__ = [
     "doc_to_plan",
     "write_plan_json",
     "read_plan_json",
+    "PLANSET_SCHEMA",
+    "planset_to_doc",
+    "doc_to_planset",
+    "write_planset_json",
+    "read_planset_json",
     "ascii_timeline",
 ]

@@ -91,6 +91,13 @@ def _causal_replay(
     def is_informed(node: Node) -> bool:
         return probs[node] <= eps
 
+    # Neighbor sets and failure probabilities are pure functions of the
+    # topology, and the reduce passes replay near-identical schedules once
+    # per candidate — memoize the lookups on the TVEG (version-checked
+    # there; the cached float is exactly the first evaluation's).
+    cache_fn = getattr(tveg, "replay_cache", None)
+    cache: Dict = cache_fn() if cache_fn is not None else {}
+
     unfired: List[Transmission] = []
     rows = list(schedule)
     i = 0
@@ -105,11 +112,21 @@ def _causal_replay(
             still = []
             for s in pending:
                 if s.time >= start_time and is_informed(s.relay):
-                    for v in tveg.neighbors(s.relay, s.time):
+                    nkey = ("nbr", s.relay, s.time)
+                    nbrs = cache.get(nkey)
+                    if nbrs is None:
+                        nbrs = tveg.neighbors(s.relay, s.time)
+                        cache[nkey] = nbrs
+                    for v in nbrs:
                         if v == s.relay:
                             continue
                         if probs[v] > 0.0:
-                            probs[v] *= tveg.failure(s.relay, v, s.time, s.cost)
+                            fkey = ("fail", s.relay, v, s.time, s.cost)
+                            f = cache.get(fkey)
+                            if f is None:
+                                f = tveg.failure(s.relay, v, s.time, s.cost)
+                                cache[fkey] = f
+                            probs[v] *= f
                         if probs[v] <= eps and informed_at[v] == math.inf:
                             informed_at[v] = s.time
                     progress = True

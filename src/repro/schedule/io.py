@@ -31,16 +31,24 @@ __all__ = [
     "write_schedule_csv",
     "read_schedule_csv",
     "PLAN_SCHEMA",
+    "PLANSET_SCHEMA",
     "plan_to_doc",
     "doc_to_plan",
     "write_plan_json",
     "read_plan_json",
+    "planset_to_doc",
+    "doc_to_planset",
+    "write_planset_json",
+    "read_planset_json",
 ]
 
 PathLike = Union[str, Path]
 
 #: schema tag of a serialized plan document
 PLAN_SCHEMA = "repro.plan/1"
+
+#: schema tag of a serialized batch-plan document
+PLANSET_SCHEMA = "repro.planset/1"
 
 
 def write_schedule_csv(schedule: Schedule, target: Union[PathLike, TextIO]) -> None:
@@ -177,6 +185,94 @@ def doc_to_plan(doc: Mapping[str, Any], tveg: Any) -> Any:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise TraceFormatError(f"malformed plan document: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# plan-set documents (BroadcastPlanSet ↔ JSON)
+# ----------------------------------------------------------------------
+
+def planset_to_doc(planset: Any) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.api.BroadcastPlanSet` to a JSON-safe dict.
+
+    The document is simply the ``repro.plan/1`` documents of the member
+    plans under one ``repro.planset/1`` header, in request order — so a
+    cached batch result replays byte-identical plan-for-plan, exactly as
+    single-plan documents do.
+    """
+    return {
+        "schema": PLANSET_SCHEMA,
+        "plans": [plan_to_doc(p) for p in planset],
+    }
+
+
+def doc_to_planset(doc: Mapping[str, Any], tvegs: Any) -> Any:
+    """Rebuild a :class:`~repro.api.BroadcastPlanSet` from a document.
+
+    ``tvegs`` supplies the graphs the plans apply to: either one TVEG
+    shared by every plan (the common case — one batch, one instance) or a
+    sequence with one TVEG per plan, matching the document order.
+    """
+    from ..api import BroadcastPlanSet  # deferred: api imports this package
+    from ..tveg.graph import TVEG
+
+    if doc.get("schema") != PLANSET_SCHEMA:
+        raise TraceFormatError(
+            f"not a plan-set document (schema={doc.get('schema')!r}, "
+            f"expected {PLANSET_SCHEMA!r})"
+        )
+    try:
+        plan_docs = list(doc["plans"])
+    except (KeyError, TypeError) as exc:
+        raise TraceFormatError(f"malformed plan-set document: {exc}") from exc
+    if isinstance(tvegs, TVEG):
+        per_plan = [tvegs] * len(plan_docs)
+    else:
+        per_plan = list(tvegs)
+        if len(per_plan) != len(plan_docs):
+            raise TraceFormatError(
+                f"plan-set document holds {len(plan_docs)} plan(s) but "
+                f"{len(per_plan)} TVEG(s) were supplied"
+            )
+    return BroadcastPlanSet(
+        plans=tuple(
+            doc_to_plan(d, tveg) for d, tveg in zip(plan_docs, per_plan)
+        )
+    )
+
+
+def write_planset_json(
+    planset_or_doc: Any, target: Union[PathLike, TextIO]
+) -> None:
+    """Write a plan set (or an already-built document) as JSON."""
+    doc = (
+        planset_or_doc
+        if isinstance(planset_or_doc, Mapping)
+        else planset_to_doc(planset_or_doc)
+    )
+    owns = isinstance(target, (str, Path))
+    fh = open(target, "w", encoding="utf-8") if owns else target
+    try:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    finally:
+        if owns:
+            fh.close()
+
+
+def read_planset_json(source: Union[PathLike, TextIO]) -> Dict[str, Any]:
+    """Load a plan-set document written by :func:`write_planset_json`."""
+    owns = isinstance(source, (str, Path))
+    fh = open(source, "r", encoding="utf-8") if owns else source
+    try:
+        doc = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"malformed plan-set JSON: {exc}") from exc
+    finally:
+        if owns:
+            fh.close()
+    if not isinstance(doc, dict):
+        raise TraceFormatError("plan-set JSON must be an object")
+    return doc
 
 
 def write_plan_json(plan_or_doc: Any, target: Union[PathLike, TextIO]) -> None:

@@ -34,7 +34,13 @@ Quick serving::
 
 from .batcher import Batcher, BatcherStats
 from .cache import CacheStats, PlanCache
-from .server import PlanningService, PlanResponse, make_server, serve
+from .server import (
+    PlanningService,
+    PlanResponse,
+    PlanSetResponse,
+    make_server,
+    serve,
+)
 
 __all__ = [
     "Batcher",
@@ -42,6 +48,7 @@ __all__ = [
     "CacheStats",
     "PlanCache",
     "PlanResponse",
+    "PlanSetResponse",
     "PlanningService",
     "make_server",
     "serve",

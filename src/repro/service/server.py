@@ -14,11 +14,14 @@ object an application (or the bundled HTTP server) drives:
   the cache misses.
 
 The HTTP layer is deliberately boring: :class:`ThreadingHTTPServer` from
-the standard library, JSON in / JSON out, four endpoints:
+the standard library, JSON in / JSON out, five endpoints:
 
 ========================  ====================================================
 ``POST /plan``            plan one broadcast; body mirrors
                           :meth:`PlanningService.plan`'s keywords
+``POST /plan_many``       plan a batch of broadcasts over one instance via
+                          :func:`repro.plan_broadcast_many`; body mirrors
+                          :meth:`PlanningService.plan_many`'s keywords
 ``GET /healthz``          liveness + queue depth
 ``GET /metrics``          cache, batcher, and request counters in one doc
 ``GET /cache/stats``      the plan cache's counters alone
@@ -43,16 +46,28 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .. import obs
-from ..api import BroadcastPlan, plan_broadcast, plan_cache_key
+from ..api import (
+    BroadcastPlan,
+    BroadcastPlanSet,
+    plan_broadcast,
+    plan_broadcast_many,
+    plan_cache_key,
+)
 from ..errors import InfeasibleError, ReproError, ServiceOverloaded
-from ..schedule.io import plan_to_doc
+from ..schedule.io import plan_to_doc, planset_to_doc
 from ..traces.model import ContactTrace
 from ..tveg.builders import tveg_from_trace
 from ..tveg.graph import TVEG
 from .batcher import Batcher
 from .cache import PlanCache
 
-__all__ = ["PlanResponse", "PlanningService", "make_server", "serve"]
+__all__ = [
+    "PlanResponse",
+    "PlanSetResponse",
+    "PlanningService",
+    "make_server",
+    "serve",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +91,30 @@ class PlanResponse:
             "cached": self.cached,
             "wall_seconds": self.wall_seconds,
             "plan": plan_to_doc(self.plan),
+        }
+
+
+@dataclass(frozen=True)
+class PlanSetResponse:
+    """One :meth:`PlanningService.plan_many` outcome.
+
+    ``keys`` and ``cached`` run parallel to ``planset`` in request order;
+    each ``cached`` flag is the same pre-run peek :class:`PlanResponse`
+    reports for single plans.
+    """
+
+    planset: BroadcastPlanSet
+    keys: Tuple[str, ...]
+    cached: Tuple[bool, ...]
+    wall_seconds: float
+
+    def as_doc(self) -> Dict[str, Any]:
+        """The JSON document ``POST /plan_many`` responds with."""
+        return {
+            "keys": list(self.keys),
+            "cached": list(self.cached),
+            "wall_seconds": self.wall_seconds,
+            "planset": planset_to_doc(self.planset),
         }
 
 
@@ -226,10 +265,16 @@ class PlanningService:
         channel: str = "static",
         window=None,
         seed=None,
+        compute: Optional[str] = None,
         timeout: Optional[float] = None,
         **scheduler_kwargs,
     ) -> PlanResponse:
         """Plan one broadcast through the cache and the batch queue.
+
+        ``compute`` selects the kernel implementation (``"auto"`` /
+        ``"python"`` / ``"numpy"``, see :mod:`repro.compute`); it never
+        enters the cache key because every value yields byte-identical
+        plans.
 
         Raises :class:`KeyError` for an unknown trace name,
         :class:`~repro.errors.ServiceOverloaded` when admission control
@@ -250,14 +295,14 @@ class PlanningService:
         )
         cached = key in self._cache
 
-        def compute() -> BroadcastPlan:
+        def run() -> BroadcastPlan:
             return plan_broadcast(
                 tveg, source, deadline, algorithm=algorithm, seed=seed,
-                cache=self._cache, **scheduler_kwargs,
+                cache=self._cache, compute=compute, **scheduler_kwargs,
             )
 
         try:
-            future = self._batcher.submit(key, compute)
+            future = self._batcher.submit(key, run)
             plan = future.result(
                 timeout=self._timeout if timeout is None else timeout
             )
@@ -267,6 +312,90 @@ class PlanningService:
             raise
         return PlanResponse(
             plan=plan, key=key, cached=cached,
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+    def plan_many(
+        self,
+        trace: Optional[str] = None,
+        deadlines=2000.0,
+        *,
+        sources,
+        algorithm: str = "eedcb",
+        channel: str = "static",
+        window=None,
+        seed=None,
+        compute: Optional[str] = None,
+        **scheduler_kwargs,
+    ) -> PlanSetResponse:
+        """Plan a batch of broadcasts over one shared instance.
+
+        ``sources`` is the per-request source list (``None`` entries
+        auto-pick); ``deadlines`` is a scalar applied to every request or
+        a sequence running parallel to ``sources``.  Each request keys the
+        plan cache exactly as the equivalent :meth:`plan` call would, so
+        batch and single requests share hits both ways.
+
+        The batch runs inline through :func:`repro.plan_broadcast_many`
+        rather than the batch queue: the point of the batch API is
+        amortizing graph construction across the member requests, which a
+        per-request queue would undo.  Deduplication against concurrent
+        single requests still happens at the plan cache.
+        """
+        t0 = time.perf_counter()
+        src_list = list(sources)
+        if isinstance(deadlines, (int, float)):
+            dl_list = [float(deadlines)] * len(src_list)
+        else:
+            dl_list = [float(d) for d in deadlines]
+            if len(dl_list) != len(src_list):
+                raise ValueError(
+                    f"plan_many got {len(src_list)} source(s) but "
+                    f"{len(dl_list)} deadline(s)"
+                )
+        if not src_list:
+            raise ValueError("plan_many needs at least one source")
+        with self._lock:
+            self._requests += len(src_list)
+        try:
+            base = self._resolve_trace(trace)
+            # Group requests sharing one registry TVEG.  With a scalar
+            # window the bounds — hence the graph — depend on the
+            # deadline; otherwise every request shares a single graph.
+            groups: "OrderedDict[Optional[float], List[int]]" = OrderedDict()
+            scalar_window = isinstance(window, (int, float))
+            for i, d in enumerate(dl_list):
+                groups.setdefault(d if scalar_window else None, []).append(i)
+            plans: List[Optional[BroadcastPlan]] = [None] * len(src_list)
+            keys: List[str] = [""] * len(src_list)
+            cached: List[bool] = [False] * len(src_list)
+            for idxs in groups.values():
+                tveg = self._shared_tveg(
+                    trace, base, channel, window, dl_list[idxs[0]], seed
+                )
+                for i in idxs:
+                    keys[i] = plan_cache_key(
+                        tveg, src_list[i], dl_list[i], algorithm=algorithm,
+                        seed=seed, **scheduler_kwargs,
+                    )
+                    cached[i] = keys[i] in self._cache
+                planset = plan_broadcast_many(
+                    tveg,
+                    [src_list[i] for i in idxs],
+                    [dl_list[i] for i in idxs],
+                    algorithm=algorithm, seed=seed, cache=self._cache,
+                    compute=compute, **scheduler_kwargs,
+                )
+                for i, plan in zip(idxs, planset):
+                    plans[i] = plan
+        except BaseException:
+            with self._lock:
+                self._errors += 1
+            raise
+        return PlanSetResponse(
+            planset=BroadcastPlanSet(plans=tuple(plans)),
+            keys=tuple(keys),
+            cached=tuple(cached),
             wall_seconds=time.perf_counter() - t0,
         )
 
@@ -303,7 +432,13 @@ class PlanningService:
 #: request-body fields POST /plan forwards to PlanningService.plan
 _PLAN_FIELDS = (
     "trace", "deadline", "source", "algorithm", "channel", "window", "seed",
-    "timeout",
+    "compute", "timeout",
+)
+
+#: request-body fields POST /plan_many forwards to PlanningService.plan_many
+_PLAN_MANY_FIELDS = (
+    "trace", "deadlines", "sources", "algorithm", "channel", "window",
+    "seed", "compute",
 )
 
 
@@ -368,7 +503,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         service: PlanningService = self.server.service
-        if self.path != "/plan":
+        if self.path == "/plan":
+            fields, required, method = _PLAN_FIELDS, "deadline", service.plan
+        elif self.path == "/plan_many":
+            fields, required, method = (
+                _PLAN_MANY_FIELDS, "sources", service.plan_many
+            )
+        else:
             self._send_error(404, f"no such endpoint: {self.path}")
             return
         try:
@@ -380,16 +521,16 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, UnicodeDecodeError) as exc:
             self._send_error(400, f"bad request body: {exc}")
             return
-        if "deadline" not in body:
-            self._send_error(400, 'missing required field "deadline"')
+        if required not in body:
+            self._send_error(400, f'missing required field "{required}"')
             return
 
-        kwargs = {k: body[k] for k in _PLAN_FIELDS if k in body}
+        kwargs = {k: body[k] for k in fields if k in body}
         extra = body.get("scheduler_kwargs", {})
         if not isinstance(extra, dict):
             self._send_error(400, '"scheduler_kwargs" must be an object')
             return
-        unknown = set(body) - set(_PLAN_FIELDS) - {"scheduler_kwargs"}
+        unknown = set(body) - set(fields) - {"scheduler_kwargs"}
         if unknown:
             self._send_error(
                 400, f"unknown fields: {', '.join(sorted(unknown))}"
@@ -399,7 +540,7 @@ class _Handler(BaseHTTPRequestHandler):
             window = kwargs.get("window")
             if isinstance(window, list):
                 kwargs["window"] = tuple(window)
-            response = service.plan(**kwargs, **extra)
+            response = method(**kwargs, **extra)
         except KeyError as exc:
             self._send_error(404, str(exc.args[0] if exc.args else exc))
         except ServiceOverloaded as exc:

@@ -42,6 +42,7 @@ def solve_memt(
     level: int = 2,
     max_candidates: Optional[int] = None,
     stats: Optional[Dict[str, int]] = None,
+    compute: Optional[str] = None,
 ) -> Set[Edge]:
     """Solve the MEMT instance and return the pruned Steiner edge set.
 
@@ -50,6 +51,11 @@ def solve_memt(
     consumes the compact form natively; the networkx-based solvers
     (``sptree``, ``charikar``) receive its lossless ``to_networkx()`` view,
     so every method accepts every graph form and returns identical trees.
+
+    ``compute="numpy"`` routes the greedy solver through the array-kernel
+    variant (:func:`repro.compute.numpy_backend.greedy_incremental_dst_numpy`
+    — byte-identical tree and counters, batched row decoding); any other
+    value, or a networkx graph, runs the stdlib solver.
 
     ``stats``, when given, receives the solver's work counters (at least
     ``expansions``; the greedy solver adds ``grafts``) — the numbers the
@@ -63,7 +69,18 @@ def solve_memt(
         terminals=len(terminals),
     ):
         if method == "greedy":
-            edges = greedy_incremental_dst(graph, root, terminals, stats=stats)
+            if compute == "numpy" and not isinstance(graph, nx.DiGraph):
+                from ..compute.numpy_backend import (
+                    greedy_incremental_dst_numpy,
+                )
+
+                edges = greedy_incremental_dst_numpy(
+                    graph, root, terminals, stats=stats
+                )
+            else:
+                edges = greedy_incremental_dst(
+                    graph, root, terminals, stats=stats
+                )
         elif method == "sptree":
             if not isinstance(graph, nx.DiGraph):
                 graph = graph.to_networkx()

@@ -44,4 +44,7 @@ def tree_cost(graph, edges: Set[Edge]) -> float:
     """Total weight of an edge set (networkx or compact auxiliary graph)."""
     if isinstance(graph, nx.DiGraph):
         return float(sum(graph[u][v]["weight"] for u, v in edges))
+    fast = getattr(graph, "tree_cost", None)
+    if fast is not None:
+        return fast(edges)
     return float(sum(graph.edge_weight(u, v) for u, v in edges))

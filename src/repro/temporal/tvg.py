@@ -233,6 +233,17 @@ class TVG:
 
         return NodeSweep(self.adjacency_events(node))
 
+    def clear_event_cache(self) -> None:
+        """Drop every cached per-node adjacency-event list.
+
+        The lists are pure derivations of the topology, so this never
+        changes results and deliberately does *not* bump :attr:`version`;
+        it exists so :meth:`repro.tveg.graph.TVEG.clear_caches` can force
+        subsequent sweeps to rebuild their event lists from the interval
+        sets — cold-benchmark timings must not reuse warm sweep state.
+        """
+        self._events.clear()
+
     # ------------------------------------------------------------------
     # snapshots and events
     # ------------------------------------------------------------------

@@ -54,8 +54,17 @@ class DiscreteCostSet:
 
     @property
     def costs(self) -> Tuple[float, ...]:
-        """The discrete cost levels ``w¹ ≤ ... ≤ w^m``."""
-        return tuple(c for c, _ in self.entries)
+        """The discrete cost levels ``w¹ ≤ ... ≤ w^m``.
+
+        Memoized per instance: :meth:`round_down` / :meth:`level_index`
+        bisect this tuple on every schedule-extraction and reduction query,
+        and an aux-graph build asks thousands of times per node.
+        """
+        cached = self.__dict__.get("_costs")
+        if cached is None:
+            cached = tuple(c for c, _ in self.entries)
+            object.__setattr__(self, "_costs", cached)
+        return cached
 
     @property
     def neighbors(self) -> Tuple[Node, ...]:

@@ -16,6 +16,7 @@ from pathlib import Path
 SUBPACKAGES = [
     "repro",
     "repro.api",
+    "repro.compute",
     "repro.service",
     "repro.obs",
     "repro.core",
@@ -66,6 +67,48 @@ Pass `cache=PlanCache(...)` to answer repeated problems without
 recomputation; `plan_config` / `plan_cache_key` expose the canonical
 config dict and its content-addressed hash (== the plan's
 `manifest["config_hash"]`) without planning.
+
+Every planning entry point takes `compute=` (`"auto"` | `"python"` |
+`"numpy"`, default auto) selecting the kernel implementation; see
+`repro.compute`. Kernel choice never changes results or the
+`config_hash` — it is an execution detail, not part of the problem.
+
+For many sources over one trace, `plan_broadcast_many` builds the TVEG,
+DCS cost sets, and auxiliary graph **once** and retargets them per
+source, returning a `BroadcastPlanSet` (a `Sequence[BroadcastPlan]`)
+whose per-plan manifests are byte-identical to N single calls:
+
+```python
+from repro import plan_broadcast_many
+
+planset = plan_broadcast_many(trace, [None, 1, 5], 2000.0,
+                              window=9000.0, seed=7)
+for p in planset:
+    print(p.source, p.feasible, p.total_cost)
+print(planset.total_cost, planset.feasible)
+```
+
+`repro.schedule.write_planset_json` / `read_planset_json` round-trip a
+plan set as a `repro.planset/1` document.
+""",
+    "repro.compute": """\
+# Compute kernels
+
+`repro.compute` is the registry behind the `compute=` parameter: the
+pure-python kernels are the parity oracle, and an optional numpy layer
+accelerates the three hot stages (per-node timeline sweeps +
+contact-cost evaluation batched into contact-component arrays, DCS
+level lookups via `searchsorted`, and greedy Steiner expansion over
+batch-decoded CSR rows) while reproducing the python path **byte for
+byte** — same node ids, edge order, floats, heap pops, and expansion
+counters (`tests/test_compute_parity.py` enforces this
+property-based).
+
+Resolution order for `compute="auto"` (the default): the
+`REPRO_COMPUTE` environment variable, then numpy-if-importable, else
+python. Requesting `compute="numpy"` without numpy installed raises
+`SolverError` (install `repro[fast]`). Aliases are tolerated (`"np"`,
+`"vectorized"`, `"stdlib"`, `"pure"`).
 """,
     "repro.service": """\
 # Planning service
@@ -82,7 +125,17 @@ from repro.service import PlanningService
 with PlanningService({"demo": trace}) as svc:
     r = svc.plan("demo", 2000.0, window=9000.0, seed=7)
     print(r.plan.total_cost, r.cached)
+    rs = svc.plan_many("demo", 2000.0, sources=[None, 1, 5], seed=7)
+    print(rs.wall_seconds, rs.cached)
 ```
+
+`plan_many` routes a batch of sources through
+`repro.plan_broadcast_many`, sharing one TVEG (and one auxiliary-graph
+build) per deadline group and writing every plan into the same
+content-addressed cache the single-plan path reads — the returned keys
+and plans are exactly what N `plan` calls would have produced. Over
+HTTP it is `POST /plan_many` (body: `sources` plus the `/plan` fields;
+`deadlines` may be a scalar or a per-source list).
 
 ```bash
 python -m repro serve --synthetic 20 --port 8437 &
