@@ -65,7 +65,9 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=99)
     args = parser.parse_args(argv)
 
-    static, fading, source = _build_instance(args.nodes, args.delay, args.seed)
+    static, fading, source, _trace = _build_instance(
+        args.nodes, args.delay, args.seed
+    )
     problems = []
     problems += check("eedcb", static, source, args.delay)
     problems += check("fr-eedcb", fading, source, args.delay)

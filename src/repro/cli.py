@@ -258,7 +258,24 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--cache-ttl", type=float, default=None,
                    help="plan-cache expiry in seconds (default: none)")
     v.add_argument("--cache-dir", default=None, metavar="DIR",
-                   help="persist plans to this directory (survives restarts)")
+                   help="persist plans to this directory (survives restarts; "
+                   "with --shards it is the tier every shard shares)")
+    v.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="worker processes behind a consistent-hash ring "
+                   "(default 0: one in-process service behind the async "
+                   "front-end)")
+    v.add_argument("--warm", default=None, metavar="FILE",
+                   help="JSON array of /plan request bodies replayed into "
+                   "the cache at boot (optional \"op\": \"plan_many\")")
+    v.add_argument("--max-inflight", type=int, default=64,
+                   help="per-shard in-flight request bound; past it that "
+                   "shard answers 429 (default 64)")
+    v.add_argument("--edge-cache", type=int, default=1024,
+                   help="front-end response-cache entries for repeat /plan "
+                   "configurations; 0 disables (default 1024)")
+    v.add_argument("--legacy-http", action="store_true",
+                   help="serve with the threaded blocking front-end instead "
+                   "of the asyncio server (single-process only)")
 
     k = sub.add_parser(
         "cache", parents=[common],
@@ -484,9 +501,19 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
     from pathlib import Path
 
-    from .service import PlanCache, PlanningService, make_server
+    from .service import (
+        AsyncPlanningServer,
+        LocalBackend,
+        PlanCache,
+        PlanningService,
+        ShardPool,
+        make_server,
+        read_warm_file,
+    )
 
     traces = {}
     for path in args.traces:
@@ -499,34 +526,99 @@ def _cmd_serve(args) -> int:
             HaggleLikeConfig(num_nodes=synthetic), seed=args.seed
         )
 
-    cache = PlanCache(
+    warm_configs = read_warm_file(args.warm) if args.warm else None
+    cache_kwargs = dict(
         capacity=args.cache_capacity, ttl=args.cache_ttl,
         disk_dir=args.cache_dir,
     )
-    service = PlanningService(
-        traces, cache=cache, workers=args.workers, max_batch=args.max_batch,
+    service_kwargs = dict(
+        workers=args.workers, max_batch=args.max_batch,
         max_wait=args.max_wait, max_queue=args.max_queue,
         timeout=args.timeout,
     )
-    srv = make_server(service, args.host, args.port)
-    if args.verbose or args.log_level:
-        srv.logger = logging.getLogger("repro.serve")
-    host, port = srv.server_address[:2]
-    print(f"# serving on http://{host}:{port}  "
-          f"(traces: {', '.join(service.trace_names())})")
-    print("# POST /plan | POST /plan_many | GET /healthz | GET /metrics | "
-          "GET /cache/stats — Ctrl-C to stop", flush=True)
+    logger = (logging.getLogger("repro.serve")
+              if (args.verbose or args.log_level) else None)
+    endpoints = ("# POST /plan | POST /plan_many | GET /healthz | "
+                 "GET /metrics | GET /cache/stats — Ctrl-C to stop")
+
+    if args.legacy_http:
+        if args.shards:
+            raise ReproError("--legacy-http serves one process; it cannot "
+                             "be combined with --shards")
+        service = PlanningService(
+            traces, cache=PlanCache(**cache_kwargs), **service_kwargs
+        )
+        if warm_configs:
+            stats = service.warm(warm_configs)
+            print(f"# warmed {stats['warmed']} configs "
+                  f"({stats['failed']} failed)")
+        srv = make_server(service, args.host, args.port)
+        if logger is not None:
+            srv.logger = logger
+        host, port = srv.server_address[:2]
+        print(f"# serving on http://{host}:{port}  "
+              f"(traces: {', '.join(service.trace_names())})")
+        print(endpoints, flush=True)
+        try:
+            srv.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            srv.server_close()
+            service.close()
+            m = service.metrics()
+            print(f"\n# served {m['requests']} requests "
+                  f"({m['errors']} errors, cache hit rate "
+                  f"{m['cache']['hit_rate']:.0%})", file=sys.stderr)
+        return 0
+
+    # asyncio front-end: one in-process backend, or a shard pool
+    if args.shards > 0:
+        backend = ShardPool(
+            traces, args.shards, cache_kwargs=cache_kwargs,
+            service_kwargs=service_kwargs, max_inflight=args.max_inflight,
+        )
+    else:
+        service = PlanningService(
+            traces, cache=PlanCache(**cache_kwargs), **service_kwargs
+        )
+        backend = LocalBackend(
+            service, traces, max_inflight=args.max_inflight,
+        )
+    if warm_configs:
+        stats = backend.warm(warm_configs)
+        print(f"# warmed {stats['warmed']} configs "
+              f"({stats['failed']} failed)")
+    server = AsyncPlanningServer(
+        backend, args.host, args.port, timeout=args.timeout,
+        edge_cache=args.edge_cache, logger=logger,
+    )
+
+    async def run() -> None:
+        await server.start()
+        host, port = server.server_address
+        shape = (f"{args.shards} shards" if args.shards > 0
+                 else "1 process")
+        print(f"# serving on http://{host}:{port}  "
+              f"(traces: {', '.join(sorted(traces))})")
+        print(f"# async front-end over {shape}; SIGTERM drains gracefully")
+        print(endpoints, flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # non-Unix event loop
+                pass
+        await server.serve_until(stop)
+
     try:
-        srv.serve_forever()
+        asyncio.run(run())
     except KeyboardInterrupt:
         pass
-    finally:
-        srv.server_close()
-        service.close()
-        m = service.metrics()
-        print(f"\n# served {m['requests']} requests "
-              f"({m['errors']} errors, cache hit rate "
-              f"{m['cache']['hit_rate']:.0%})", file=sys.stderr)
+    edge = server.edge_stats()
+    print(f"\n# served {server.served} requests ({server.errors} errors, "
+          f"edge cache hits {edge['hits']})", file=sys.stderr)
     return 0
 
 

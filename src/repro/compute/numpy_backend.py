@@ -236,14 +236,17 @@ class NumpyAuxGraph(CompactAuxGraph):
         indexes in the owner's cost set — the same float
         ``edge_weight`` would return.  Adding 0.0 for the waiting and
         coverage edges is exact, so skipping them reproduces the
-        left-fold sum of the generic path bit for bit.
+        generic path's :func:`math.fsum` bit for bit; fsum's exact
+        rounding also makes the result independent of the set's
+        hash-seed-dependent iteration order.
         """
-        total = 0.0
         cost_sets = self.cost_sets
-        for _u, v in edges:
-            if v[0] == "tx":
-                total += cost_sets[(v[1], v[2])].entries[v[3]][0]
-        return float(total)
+        weights = [
+            cost_sets[(v[1], v[2])].entries[v[3]][0]
+            for _u, v in edges
+            if v[0] == "tx"
+        ]
+        return float(math.fsum(weights))
 
 
 @obs.span("auxgraph.numpy_build")

@@ -36,6 +36,8 @@ from .events import (
     EV_RELAY_SELECTED,
     EV_REQUEST_REJECTED,
     EV_RUN_SUMMARY,
+    EV_SHARD_EXITED,
+    EV_SHARD_STARTED,
     EV_SIM_RECEPTION,
     EV_TRANSMISSION_SCHEDULED,
     EVENT_TYPES,
@@ -137,6 +139,8 @@ __all__ = [
     "EV_PLAN_CACHE_MISS",
     "EV_BATCH_FLUSHED",
     "EV_REQUEST_REJECTED",
+    "EV_SHARD_STARTED",
+    "EV_SHARD_EXITED",
     # ledger
     "Ledger",
     "NoopLedger",

@@ -50,6 +50,8 @@ __all__ = [
     "EV_PLAN_CACHE_MISS",
     "EV_BATCH_FLUSHED",
     "EV_REQUEST_REJECTED",
+    "EV_SHARD_STARTED",
+    "EV_SHARD_EXITED",
     "EVENT_TYPES",
 ]
 
@@ -82,6 +84,10 @@ EV_PLAN_CACHE_MISS = "plan_cache_miss"
 EV_BATCH_FLUSHED = "batch_flushed"
 #: admission control turned a request away (reason: queue_full | timeout)
 EV_REQUEST_REJECTED = "request_rejected"
+#: a planning-service shard worker process came up (shard, pid)
+EV_SHARD_STARTED = "shard_started"
+#: a shard worker left the pool (shard, pid, requests, clean)
+EV_SHARD_EXITED = "shard_exited"
 
 EVENT_TYPES = (
     EV_MANIFEST,
@@ -98,6 +104,8 @@ EVENT_TYPES = (
     EV_PLAN_CACHE_MISS,
     EV_BATCH_FLUSHED,
     EV_REQUEST_REJECTED,
+    EV_SHARD_STARTED,
+    EV_SHARD_EXITED,
 )
 
 

@@ -21,6 +21,7 @@ silently incomplete ledger is worse than a slower run.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
@@ -30,6 +31,7 @@ from .core.rng import SeedLike, as_generator
 
 __all__ = [
     "derive_seeds",
+    "mp_context",
     "parallel_map",
     "thread_map",
     "resolve_workers",
@@ -76,6 +78,33 @@ def chunk_indices(n: int, chunks: int) -> List[range]:
         out.append(range(start, start + size))
         start += size
     return out
+
+
+def mp_context(
+    method: Optional[str] = None,
+) -> multiprocessing.context.BaseContext:
+    """The multiprocessing start-method context long-lived workers use.
+
+    Preference order: an explicit ``method`` argument, the
+    ``REPRO_MP_START`` environment variable, then ``fork`` where available
+    (shard workers inherit the parent's loaded traces and imported modules
+    for free — spawn would re-import the package and re-pickle every trace
+    per worker), finally the platform default.  Raises :class:`ValueError`
+    for a method the platform doesn't offer, so a typo in the env var
+    fails loudly at boot instead of silently picking a different one.
+    """
+    chosen = method or os.environ.get("REPRO_MP_START") or None
+    available = multiprocessing.get_all_start_methods()
+    if chosen is not None:
+        if chosen not in available:
+            raise ValueError(
+                f"multiprocessing start method {chosen!r} unavailable here; "
+                f"choices: {', '.join(available)}"
+            )
+        return multiprocessing.get_context(chosen)
+    if "fork" in available:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
 
 
 def parallel_map(

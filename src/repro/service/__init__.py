@@ -12,8 +12,18 @@ serving layer — compute once, answer many:
   queue that groups concurrent requests, executes one compute per unique
   key on a thread pool, and fans results out to duplicates;
 * :mod:`~repro.service.server` — :class:`PlanningService`, the embeddable
-  facade combining both over a set of named traces, plus the
-  ``ThreadingHTTPServer`` JSON API behind ``repro serve``.
+  facade combining both over a set of named traces, plus the legacy
+  ``ThreadingHTTPServer`` JSON API (``repro serve --legacy-http``);
+* :mod:`~repro.service.router` — :class:`HashRing` consistent hashing and
+  :func:`routing_key`, mapping each plan configuration to the shard whose
+  live caches are warm for it;
+* :mod:`~repro.service.shard` — :class:`ShardPool`, worker processes each
+  running a full :class:`PlanningService` over duplex pipes, sharing one
+  disk cache tier;
+* :mod:`~repro.service.asgi` — the asyncio HTTP front-end
+  (:class:`AsyncPlanningServer`) behind ``repro serve``: keep-alive,
+  single-buffer responses, per-shard backpressure, an edge cache of
+  serialized responses, and graceful SIGTERM drain.
 
 Quick embedding::
 
@@ -32,24 +42,36 @@ Quick serving::
         -d '{"deadline": 2000, "window": 9000, "seed": 7}'
 """
 
+from .asgi import AsyncPlanningServer, BackgroundServer, LocalBackend
 from .batcher import Batcher, BatcherStats
 from .cache import CacheStats, PlanCache
+from .router import HashRing, routing_key
 from .server import (
     PlanningService,
     PlanResponse,
     PlanSetResponse,
     make_server,
+    read_warm_file,
     serve,
 )
+from .shard import ShardHandle, ShardPool
 
 __all__ = [
+    "AsyncPlanningServer",
+    "BackgroundServer",
     "Batcher",
     "BatcherStats",
     "CacheStats",
+    "HashRing",
+    "LocalBackend",
     "PlanCache",
     "PlanResponse",
     "PlanSetResponse",
     "PlanningService",
+    "ShardHandle",
+    "ShardPool",
     "make_server",
+    "read_warm_file",
+    "routing_key",
     "serve",
 ]

@@ -165,24 +165,65 @@ class Batcher:
             ) from None
         with self._stats_lock:
             self._stats.submitted += 1
+        if self._closed.is_set() and not self._thread.is_alive():
+            # Raced a concurrent close(): the flush loop may already be gone,
+            # so nothing would ever resolve this future.  Sweep the queue —
+            # the job either fails with ServiceOverloaded here or was
+            # legitimately flushed first; it never hangs.
+            self._fail_pending(
+                "planning service shut down before this request was scheduled"
+            )
         return job.future
 
     def close(self, timeout: Optional[float] = 5.0) -> None:
-        """Stop accepting work, drain what's queued, and join the thread."""
-        if self._closed.is_set():
-            return
-        self._closed.set()
-        try:
-            self._queue.put_nowait(None)  # wake the flush loop
-        except queue.Full:
-            pass
+        """Stop accepting work, drain what's queued, and join the thread.
+
+        Shutdown ordering guarantee: every future handed out by
+        :meth:`submit` **resolves** — jobs the flush loop drains before
+        exiting complete normally; anything still queued when the loop is
+        gone (including stragglers that raced a concurrent ``submit``)
+        fails with :class:`~repro.errors.ServiceOverloaded` rather than
+        pending forever.  Safe to call more than once.
+        """
+        if not self._closed.is_set():
+            self._closed.set()
+            try:
+                self._queue.put_nowait(None)  # wake the flush loop
+            except queue.Full:
+                pass
         self._thread.join(timeout=timeout)
+        # The flush loop drains the queue before returning; this sweep only
+        # matters when the join timed out (a compute is wedged) or a submit
+        # raced the shutdown — either way the futures must not hang.
+        self._fail_pending("planning service shut down before this request "
+                           "was scheduled")
 
     def __enter__(self) -> "Batcher":
         return self
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+    def _fail_pending(self, reason: str) -> None:
+        """Drain the queue, failing every remaining job's future.
+
+        Runs only during shutdown.  A future that resolved concurrently
+        (the flush loop got there first) is left untouched.
+        """
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if job is None:
+                continue
+            try:
+                job.future.set_exception(ServiceOverloaded(reason))
+            except Exception:  # already resolved by a racing flush
+                continue
+            with self._stats_lock:
+                self._stats.rejected += 1
+            obs.counter("service.request_rejected")
 
     # ------------------------------------------------------------------
     def _run(self) -> None:

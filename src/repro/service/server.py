@@ -40,10 +40,10 @@ from __future__ import annotations
 import json
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .. import obs
 from ..api import (
@@ -54,6 +54,7 @@ from ..api import (
     plan_cache_key,
 )
 from ..errors import InfeasibleError, ReproError, ServiceOverloaded
+from ..obs.metrics import percentile
 from ..schedule.io import plan_to_doc, planset_to_doc
 from ..traces.model import ContactTrace
 from ..tveg.builders import tveg_from_trace
@@ -62,10 +63,15 @@ from .batcher import Batcher
 from .cache import PlanCache
 
 __all__ = [
+    "LatencyRecorder",
     "PlanResponse",
     "PlanSetResponse",
     "PlanningService",
+    "exception_status",
+    "execute_request",
     "make_server",
+    "parse_plan_request",
+    "read_warm_file",
     "serve",
 ]
 
@@ -116,6 +122,189 @@ class PlanSetResponse:
             "wall_seconds": self.wall_seconds,
             "planset": planset_to_doc(self.planset),
         }
+
+
+#: request-body fields POST /plan forwards to PlanningService.plan
+_PLAN_FIELDS = (
+    "trace", "deadline", "source", "algorithm", "channel", "window", "seed",
+    "compute", "timeout",
+)
+
+#: request-body fields POST /plan_many forwards to PlanningService.plan_many
+_PLAN_MANY_FIELDS = (
+    "trace", "deadlines", "sources", "algorithm", "channel", "window",
+    "seed", "compute",
+)
+
+
+def parse_plan_request(path: str, body: Any) -> Tuple[str, Dict[str, Any]]:
+    """Validate a ``/plan`` or ``/plan_many`` JSON body.
+
+    Returns ``(method_name, kwargs)`` where ``method_name`` is the
+    :class:`PlanningService` method to call (``"plan"`` / ``"plan_many"``)
+    and ``kwargs`` are its keyword arguments with ``scheduler_kwargs``
+    already merged in.  Shared by every front-end — the threading server,
+    the asyncio server, and the shard router — so a request is judged by
+    exactly one set of rules no matter which door it came in through.
+
+    Raises :class:`ValueError` with a client-facing message (HTTP 400) on
+    malformed input, and :class:`KeyError` for an unknown endpoint path.
+    """
+    if path == "/plan":
+        fields, required, method = _PLAN_FIELDS, "deadline", "plan"
+    elif path == "/plan_many":
+        fields, required, method = _PLAN_MANY_FIELDS, "sources", "plan_many"
+    else:
+        raise KeyError(f"no such endpoint: {path}")
+    if not isinstance(body, dict):
+        raise ValueError("request body must be a JSON object")
+    if required not in body:
+        raise ValueError(f'missing required field "{required}"')
+    extra = body.get("scheduler_kwargs", {})
+    if not isinstance(extra, dict):
+        raise ValueError('"scheduler_kwargs" must be an object')
+    unknown = set(body) - set(fields) - {"scheduler_kwargs"}
+    if unknown:
+        raise ValueError(f"unknown fields: {', '.join(sorted(unknown))}")
+    kwargs = {k: body[k] for k in fields if k in body}
+    window = kwargs.get("window")
+    if isinstance(window, list):
+        kwargs["window"] = tuple(window)
+    overlap = set(kwargs) & set(extra)
+    if overlap:
+        raise ValueError(
+            f"scheduler_kwargs shadow request fields: "
+            f"{', '.join(sorted(overlap))}"
+        )
+    kwargs.update(extra)
+    return method, kwargs
+
+
+def exception_status(exc: BaseException) -> Tuple[int, str, Optional[float]]:
+    """Map a planning exception to ``(http_status, message, retry_after)``.
+
+    The one place HTTP semantics are decided: the threading server, the
+    asyncio front-end, and the shard workers (which ship the mapping across
+    the process boundary as plain data) all call this, so a given failure
+    produces the same status code everywhere.
+    """
+    if isinstance(exc, KeyError):
+        return 404, str(exc.args[0] if exc.args else exc), None
+    if isinstance(exc, ServiceOverloaded):
+        return 429, str(exc), exc.retry_after
+    if isinstance(exc, TimeoutError):
+        return (
+            504,
+            "request timed out; the plan is still being computed — "
+            "retrying will likely hit the cache",
+            1.0,
+        )
+    if isinstance(exc, InfeasibleError):
+        return 422, str(exc), None
+    if isinstance(exc, (ReproError, TypeError, ValueError)):
+        return 400, str(exc), None
+    raise exc  # genuinely unexpected: let it surface as a bug
+
+
+def execute_request(
+    service: "PlanningService", method: str, kwargs: Mapping[str, Any]
+) -> Tuple[int, Dict[str, Any]]:
+    """Run one parsed request and fold the outcome into ``(status, doc)``.
+
+    The shard workers and the asyncio front-end's in-process backend both
+    serve through this, so an HTTP response is decided by exactly one code
+    path whether the service lives in this process or across a pipe —
+    failures travel as plain ``{"error": ..., "retry_after": ...}`` data
+    that any transport can carry.  Exceptions :func:`exception_status`
+    refuses to map (genuine bugs) come back as 500 rather than killing a
+    worker loop.
+    """
+    try:
+        response = getattr(service, method)(**kwargs)
+    except Exception as exc:
+        try:
+            status, message, retry_after = exception_status(exc)
+        except BaseException:
+            status, message, retry_after = (
+                500, f"internal error: {type(exc).__name__}: {exc}", None
+            )
+        doc: Dict[str, Any] = {"error": message}
+        if retry_after is not None:
+            doc["retry_after"] = retry_after
+        return status, doc
+    return 200, response.as_doc()
+
+
+def read_warm_file(path: str) -> List[Dict[str, Any]]:
+    """Parse a ``--warm`` file: a JSON array of request bodies.
+
+    Each entry is a ``POST /plan`` body (``deadline`` required), optionally
+    carrying ``"op": "plan_many"`` to warm through the batch API instead.
+    Entries are validated through :func:`parse_plan_request` up front so a
+    typo fails at boot, not silently mid-warm-up.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, list):
+        raise ValueError(f"{path}: a warm file is a JSON array of "
+                         "request bodies")
+    configs: List[Dict[str, Any]] = []
+    for i, entry in enumerate(doc):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}[{i}]: each warm entry is an object")
+        entry = dict(entry)
+        op = entry.pop("op", "plan")
+        if op not in ("plan", "plan_many"):
+            raise ValueError(f"{path}[{i}]: unknown op {op!r}")
+        parse_plan_request(
+            "/plan" if op == "plan" else "/plan_many", entry
+        )
+        entry["op"] = op
+        configs.append(entry)
+    return configs
+
+
+class LatencyRecorder:
+    """Bounded per-endpoint request-latency reservoir with percentiles.
+
+    Keeps the most recent ``window`` samples per endpoint (an old-sample
+    reservoir would misreport a service whose latency shifted an hour ago)
+    and reports p50/p95/p99 through :func:`repro.obs.metrics.percentile`.
+    Thread-safe; recording is append-to-deque cheap.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"latency window must be >= 1, got {window}")
+        self._window = int(window)
+        self._lock = threading.Lock()
+        self._samples: Dict[str, deque] = {}
+        self._counts: Dict[str, int] = {}
+
+    def record(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            q = self._samples.get(endpoint)
+            if q is None:
+                q = self._samples[endpoint] = deque(maxlen=self._window)
+            q.append(seconds)
+            self._counts[endpoint] = self._counts.get(endpoint, 0) + 1
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """``{endpoint: {count, window, p50_ms, p95_ms, p99_ms, max_ms}}``."""
+        with self._lock:
+            snap = {k: list(v) for k, v in self._samples.items()}
+            counts = dict(self._counts)
+        doc: Dict[str, Dict[str, float]] = {}
+        for endpoint, values in snap.items():
+            doc[endpoint] = {
+                "count": float(counts.get(endpoint, len(values))),
+                "window": float(len(values)),
+                "p50_ms": percentile(values, 50.0) * 1e3,
+                "p95_ms": percentile(values, 95.0) * 1e3,
+                "p99_ms": percentile(values, 99.0) * 1e3,
+                "max_ms": max(values) * 1e3,
+            }
+        return doc
 
 
 class PlanningService:
@@ -173,6 +362,7 @@ class PlanningService:
         self._started = time.time()
         self._requests = 0
         self._errors = 0
+        self._latency = LatencyRecorder()
 
     # ------------------------------------------------------------------
     @property
@@ -310,10 +500,10 @@ class PlanningService:
             with self._lock:
                 self._errors += 1
             raise
-        return PlanResponse(
-            plan=plan, key=key, cached=cached,
-            wall_seconds=time.perf_counter() - t0,
-        )
+        wall = time.perf_counter() - t0
+        self._latency.record("plan", wall)
+        return PlanResponse(plan=plan, key=key, cached=cached,
+                            wall_seconds=wall)
 
     def plan_many(
         self,
@@ -392,12 +582,38 @@ class PlanningService:
             with self._lock:
                 self._errors += 1
             raise
+        wall = time.perf_counter() - t0
+        self._latency.record("plan_many", wall)
         return PlanSetResponse(
             planset=BroadcastPlanSet(plans=tuple(plans)),
             keys=tuple(keys),
             cached=tuple(cached),
-            wall_seconds=time.perf_counter() - t0,
+            wall_seconds=wall,
         )
+
+    def warm(self, configs: Iterable[Mapping[str, Any]]) -> Dict[str, int]:
+        """Replay a list of request bodies to prime the plan cache.
+
+        Each config is a ``POST /plan`` body (optionally ``"op":
+        "plan_many"``) as produced by :func:`read_warm_file`.  A config
+        whose trace is unknown or whose instance is infeasible counts as
+        failed rather than aborting the warm-up — a stale warm file must
+        never prevent the service from booting.  Returns
+        ``{"warmed": n, "failed": n}``.
+        """
+        warmed = failed = 0
+        for config in configs:
+            body = dict(config)
+            op = body.pop("op", "plan")
+            try:
+                method, kwargs = parse_plan_request(
+                    "/plan" if op == "plan" else "/plan_many", body
+                )
+                getattr(self, method)(**kwargs)
+                warmed += 1
+            except Exception:
+                failed += 1
+        return {"warmed": warmed, "failed": failed}
 
     # ------------------------------------------------------------------
     def metrics(self) -> Dict[str, Any]:
@@ -414,6 +630,7 @@ class PlanningService:
             "shared_tvegs": shared,
             "cache": self._cache.stats(),
             "batcher": self._batcher.stats(),
+            "latency": self._latency.as_dict(),
         }
 
     def healthz(self) -> Dict[str, Any]:
@@ -428,18 +645,6 @@ class PlanningService:
 # ----------------------------------------------------------------------
 # HTTP front-end
 # ----------------------------------------------------------------------
-
-#: request-body fields POST /plan forwards to PlanningService.plan
-_PLAN_FIELDS = (
-    "trace", "deadline", "source", "algorithm", "channel", "window", "seed",
-    "compute", "timeout",
-)
-
-#: request-body fields POST /plan_many forwards to PlanningService.plan_many
-_PLAN_MANY_FIELDS = (
-    "trace", "deadlines", "sources", "algorithm", "channel", "window",
-    "seed", "compute",
-)
 
 
 class _PlanningServer(ThreadingHTTPServer):
@@ -503,59 +708,26 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         service: PlanningService = self.server.service
-        if self.path == "/plan":
-            fields, required, method = _PLAN_FIELDS, "deadline", service.plan
-        elif self.path == "/plan_many":
-            fields, required, method = (
-                _PLAN_MANY_FIELDS, "sources", service.plan_many
-            )
-        else:
-            self._send_error(404, f"no such endpoint: {self.path}")
-            return
         try:
             length = int(self.headers.get("Content-Length") or 0)
             raw = self.rfile.read(length) if length else b"{}"
             body = json.loads(raw.decode("utf-8"))
-            if not isinstance(body, dict):
-                raise ValueError("request body must be a JSON object")
         except (ValueError, UnicodeDecodeError) as exc:
             self._send_error(400, f"bad request body: {exc}")
             return
-        if required not in body:
-            self._send_error(400, f'missing required field "{required}"')
-            return
-
-        kwargs = {k: body[k] for k in fields if k in body}
-        extra = body.get("scheduler_kwargs", {})
-        if not isinstance(extra, dict):
-            self._send_error(400, '"scheduler_kwargs" must be an object')
-            return
-        unknown = set(body) - set(fields) - {"scheduler_kwargs"}
-        if unknown:
-            self._send_error(
-                400, f"unknown fields: {', '.join(sorted(unknown))}"
-            )
-            return
         try:
-            window = kwargs.get("window")
-            if isinstance(window, list):
-                kwargs["window"] = tuple(window)
-            response = method(**kwargs, **extra)
+            method, kwargs = parse_plan_request(self.path, body)
         except KeyError as exc:
             self._send_error(404, str(exc.args[0] if exc.args else exc))
-        except ServiceOverloaded as exc:
-            self._send_error(429, str(exc), retry_after=exc.retry_after)
-        except TimeoutError:
-            self._send_error(
-                504,
-                "request timed out; the plan is still being computed — "
-                "retrying will likely hit the cache",
-                retry_after=1.0,
-            )
-        except InfeasibleError as exc:
-            self._send_error(422, str(exc))
-        except (ReproError, TypeError, ValueError) as exc:
+            return
+        except ValueError as exc:
             self._send_error(400, str(exc))
+            return
+        try:
+            response = getattr(service, method)(**kwargs)
+        except Exception as exc:
+            status, message, retry_after = exception_status(exc)
+            self._send_error(status, message, retry_after=retry_after)
         else:
             self._send_json(200, response.as_doc())
 

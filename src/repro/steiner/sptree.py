@@ -8,6 +8,7 @@ against which the ablation bench measures the better solvers.
 
 from __future__ import annotations
 
+import math
 from typing import Hashable, Sequence, Set, Tuple
 
 import networkx as nx
@@ -41,10 +42,17 @@ def shortest_path_tree(
 
 
 def tree_cost(graph, edges: Set[Edge]) -> float:
-    """Total weight of an edge set (networkx or compact auxiliary graph)."""
+    """Total weight of an edge set (networkx or compact auxiliary graph).
+
+    Summed with :func:`math.fsum` (exactly rounded, hence independent of
+    iteration order): ``edges`` is a set whose tuples contain strings, so
+    a naive left-fold would drift by an ulp between processes with
+    different hash seeds — visible as byte-nonidentical plans from a
+    sharded service whose workers are separate processes.
+    """
     if isinstance(graph, nx.DiGraph):
-        return float(sum(graph[u][v]["weight"] for u, v in edges))
+        return float(math.fsum(graph[u][v]["weight"] for u, v in edges))
     fast = getattr(graph, "tree_cost", None)
     if fast is not None:
         return fast(edges)
-    return float(sum(graph.edge_weight(u, v) for u, v in edges))
+    return float(math.fsum(graph.edge_weight(u, v) for u, v in edges))

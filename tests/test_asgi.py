@@ -1,0 +1,247 @@
+"""Asyncio HTTP front-end: endpoints, edge cache, error mapping.
+
+Runs a real :class:`BackgroundServer` (event loop on its own thread, OS
+port 0) over a :class:`LocalBackend` and speaks HTTP/1.1 to it with a
+persistent ``http.client`` connection — keep-alive is part of what's
+under test.  The edge-cache byte-identity test pins the front-end's
+contract: a repeat ``/plan`` answered from the edge embeds the exact
+``plan`` fragment bytes a worker-served response would.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import PlanningService
+from repro.service.asgi import AsyncPlanningServer, BackgroundServer, LocalBackend
+from repro.traces import HaggleLikeConfig, haggle_like_trace
+
+BODY = {"deadline": 600.0, "window": 2000.0, "seed": 3}
+
+
+class Client:
+    """One persistent keep-alive connection to a test server."""
+
+    def __init__(self, address):
+        host, port = address
+        self.conn = http.client.HTTPConnection(host, port, timeout=60)
+
+    def request(self, verb, path, body=None):
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        self.conn.request(
+            verb, path, body=data,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        resp = self.conn.getresponse()
+        payload = resp.read()
+        will_close = resp.will_close
+        if will_close:
+            self.conn.close()
+        return resp.status, json.loads(payload), dict(resp.getheaders()), will_close
+
+    def post(self, path, body):
+        status, doc, _, _ = self.request("POST", path, body)
+        return status, doc
+
+    def get(self, path):
+        status, doc, _, _ = self.request("GET", path)
+        return status, doc
+
+    def close(self):
+        self.conn.close()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return haggle_like_trace(HaggleLikeConfig(num_nodes=8), seed=3)
+
+
+@pytest.fixture(scope="module")
+def backend(trace):
+    service = PlanningService({"demo": trace}, max_wait=0.0, workers=2)
+    yield LocalBackend(service, {"demo": trace})
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def server(backend):
+    with BackgroundServer(backend, port=0) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    c = Client(server.address)
+    yield c
+    c.close()
+
+
+class TestEndpoints:
+    def test_plan_round_trip(self, client):
+        status, doc = client.post("/plan", BODY)
+        assert status == 200
+        assert doc["plan"]["feasibility"]["all_informed"] is True
+        assert len(doc["key"]) == 16
+        assert set(doc) == {"cached", "key", "plan", "wall_seconds"}
+
+    def test_plan_many_round_trip(self, client):
+        status, doc = client.post(
+            "/plan_many",
+            {"sources": [None, None], "deadlines": 600.0,
+             "window": 2000.0, "seed": 3},
+        )
+        assert status == 200
+        assert len(doc["keys"]) == 2
+        assert doc["planset"]["plans"]
+
+    def test_healthz(self, client):
+        status, doc = client.get("/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+
+    def test_metrics_exposes_frontend_and_edge_cache(self, client):
+        client.post("/plan", BODY)
+        status, doc = client.get("/metrics")
+        assert status == 200
+        assert doc["mode"] == "local"
+        front = doc["frontend"]
+        assert front["served"] >= 1
+        assert front["errors"] >= 0
+        edge = front["edge_cache"]
+        assert set(edge) == {"capacity", "entries", "hits", "misses"}
+        assert edge["entries"] >= 1
+
+    def test_cache_stats(self, client):
+        status, doc = client.get("/cache/stats")
+        assert status == 200
+        assert "hits" in doc and "misses" in doc
+
+
+class TestEdgeCache:
+    def test_repeat_plan_is_byte_identical_and_cached(self, server, client):
+        body = {**BODY, "seed": 11}
+        hits_before = server.server.edge_stats()["hits"]
+        _, first = client.post("/plan", body)
+        status, second = client.post("/plan", body)
+        assert status == 200
+        assert second["cached"] is True
+        assert second["key"] == first["key"]
+        # the edge embeds the exact fragment a worker-served response
+        # carries — byte identity, not just semantic equality
+        assert (
+            json.dumps(second["plan"], sort_keys=True)
+            == json.dumps(first["plan"], sort_keys=True)
+        )
+        assert server.server.edge_stats()["hits"] >= hits_before + 1
+
+
+class TestErrorMapping:
+    def test_unknown_endpoint_404(self, client):
+        status, doc = client.post("/nope", BODY)
+        assert status == 404
+        assert "error" in doc
+
+    def test_get_unknown_endpoint_404(self, client):
+        status, doc = client.get("/nope")
+        assert status == 404
+
+    def test_unknown_trace_404(self, client):
+        status, doc = client.post("/plan", {**BODY, "trace": "nope"})
+        assert status == 404
+        assert "unknown trace" in doc["error"]
+
+    def test_unknown_field_400(self, client):
+        status, doc = client.post("/plan", {**BODY, "bogus": 1})
+        assert status == 400
+        assert "error" in doc
+
+    def test_malformed_json_400(self, client):
+        self_conn = client.conn
+        self_conn.request(
+            "POST", "/plan", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        resp = self_conn.getresponse()
+        doc = json.loads(resp.read())
+        assert resp.status == 400
+        assert "bad request body" in doc["error"]
+
+    def test_method_not_allowed_405(self, client):
+        status, doc, _, _ = client.request("PUT", "/plan", BODY)
+        assert status == 405
+
+    def test_infeasible_422(self, client):
+        status, doc = client.post("/plan", {**BODY, "deadline": 0.001})
+        assert status == 422
+        assert "error" in doc
+
+    def test_overloaded_429_with_retry_after(self, server, backend, client):
+        # pin the backend at capacity; the front-end must map the
+        # resulting ServiceOverloaded to 429 + Retry-After
+        with backend._lock:
+            backend._inflight = backend._max_inflight
+        try:
+            status, doc, headers, _ = client.request(
+                "POST", "/plan", {**BODY, "seed": 404}
+            )
+        finally:
+            with backend._lock:
+                backend._inflight = 0
+        assert status == 429
+        assert "Retry-After" in headers
+        assert doc["retry_after"] >= 1
+
+
+class TestTimeout:
+    def test_slow_compute_times_out_504(self, trace):
+        service = PlanningService({"demo": trace}, max_wait=0.0, workers=1)
+        backend = LocalBackend(service, {"demo": trace})
+        try:
+            with BackgroundServer(backend, port=0, timeout=0.001) as srv:
+                client = Client(srv.address)
+                # a cold config cannot finish within 1 ms
+                status, doc = client.post("/plan", {**BODY, "seed": 909})
+                assert status == 504
+                assert "timed out" in doc["error"]
+                client.close()
+        finally:
+            service.close()
+
+
+class TestKeepAliveAndDrain:
+    def test_connection_is_reused(self, client):
+        for _ in range(3):
+            _, _, _, will_close = client.request("GET", "/healthz")
+            assert will_close is False
+
+    def test_connection_close_honored(self, server):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        conn.request("GET", "/healthz", headers={"Connection": "close"})
+        resp = conn.getresponse()
+        resp.read()
+        assert resp.will_close is True
+        conn.close()
+
+    def test_stop_refuses_new_connections(self, trace):
+        service = PlanningService({"demo": trace}, max_wait=0.0)
+        backend = LocalBackend(service, {"demo": trace})
+        srv = BackgroundServer(backend, port=0)
+        host, port = srv.address
+        client = Client((host, port))
+        status, _ = client.get("/healthz")
+        assert status == 200
+        client.close()
+        srv.stop()
+        assert not srv._thread.is_alive()
+        with pytest.raises(OSError):
+            probe = http.client.HTTPConnection(host, port, timeout=5)
+            probe.request("GET", "/healthz")
+            probe.getresponse()
+
+    def test_timeout_validation(self, backend):
+        with pytest.raises(ValueError):
+            AsyncPlanningServer(backend, timeout=0.0)
+        with pytest.raises(ValueError):
+            LocalBackend(backend.service, {}, max_inflight=0)

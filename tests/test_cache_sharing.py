@@ -1,0 +1,155 @@
+"""Multi-process disk-cache sharing: the shared tier under the shards.
+
+A sharded deployment points every worker's :class:`PlanCache` at one
+``cache_dir``.  These tests pin the contract that makes that safe:
+
+* a plan stored by one cache instance replays byte-identically through
+  another instance (and through another *process*) given only the key
+  and a TVEG factory;
+* writes are atomic — readers racing a writer see either the complete
+  document or a miss, never partial JSON — and no temp files leak;
+* corrupt or truncated entries degrade to misses (counted as
+  ``disk_errors``), never to exceptions or wrong plans.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.api import plan_broadcast, plan_cache_key, tveg_from_trace
+from repro.schedule.io import plan_to_doc
+from repro.service import PlanCache
+from repro.traces import HaggleLikeConfig, haggle_like_trace
+
+PARAMS = dict(num_nodes=8)
+SEED = 3
+DEADLINE = 600.0
+
+
+def make_tveg():
+    trace = haggle_like_trace(HaggleLikeConfig(**PARAMS), seed=SEED)
+    # the service's scalar-window convention: start at 2000, span one
+    # deadline, rebased to t=0 — matches a {"window": 2000.0} request
+    window = trace.restrict_window(2000.0, 2000.0 + DEADLINE).shift(-2000.0)
+    return tveg_from_trace(window, "static", seed=SEED)
+
+
+def canonical(plan) -> str:
+    """The plan document minus its volatile timing fields."""
+    doc = plan_to_doc(plan)
+    doc.get("manifest", {}).pop("created_unix", None)
+    doc.get("manifest", {}).pop("wall_seconds", None)
+    doc.get("info", {}).pop("stage_seconds", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def tveg():
+    return make_tveg()
+
+
+@pytest.fixture(scope="module")
+def plan_and_key(tveg):
+    key = plan_cache_key(tveg, None, DEADLINE, algorithm="eedcb", seed=SEED)
+    plan = plan_broadcast(tveg, None, DEADLINE, algorithm="eedcb", seed=SEED)
+    return plan, key
+
+
+def _subprocess_writer(cache_dir: str) -> None:
+    """Recompute the module's plan from scratch and store it.
+
+    Runs in a child process: nothing is inherited but the directory
+    path, so a parent-side hit doubles as a cross-process determinism
+    check.
+    """
+    tveg = make_tveg()
+    key = plan_cache_key(tveg, None, DEADLINE, algorithm="eedcb", seed=SEED)
+    plan = plan_broadcast(tveg, None, DEADLINE, algorithm="eedcb", seed=SEED)
+    PlanCache(capacity=4, disk_dir=cache_dir).put(key, plan)
+
+
+class TestSharedDiskTier:
+    def test_second_instance_replays_byte_identically(
+        self, tmp_path, tveg, plan_and_key
+    ):
+        plan, key = plan_and_key
+        writer = PlanCache(capacity=8, disk_dir=str(tmp_path))
+        writer.put(key, plan)
+        reader = PlanCache(capacity=8, disk_dir=str(tmp_path))
+        replayed = reader.lookup(key, tveg_factory=make_tveg)
+        assert replayed is not None
+        assert canonical(replayed) == canonical(plan)
+        assert reader.stats()["disk_hits"] == 1
+        # the disk hit was promoted into the reader's memory tier
+        assert key in reader
+
+    def test_disk_tier_needs_a_tveg_factory(self, tmp_path, plan_and_key):
+        plan, key = plan_and_key
+        PlanCache(capacity=8, disk_dir=str(tmp_path)).put(key, plan)
+        reader = PlanCache(capacity=8, disk_dir=str(tmp_path))
+        assert reader.lookup(key) is None
+
+    def test_atomic_rename_leaves_no_temp_files(self, tmp_path, plan_and_key):
+        plan, key = plan_and_key
+        cache = PlanCache(capacity=8, disk_dir=str(tmp_path))
+        for _ in range(3):
+            cache.put(key, plan)
+        names = os.listdir(tmp_path)
+        assert names == [key + ".json"]
+        # and the final file is complete, parseable JSON
+        with open(tmp_path / names[0]) as fh:
+            doc = json.load(fh)
+        assert "cached_unix" in doc
+
+    def test_corrupt_entry_is_a_counted_miss(self, tmp_path, tveg, plan_and_key):
+        plan, key = plan_and_key
+        writer = PlanCache(capacity=8, disk_dir=str(tmp_path))
+        writer.put(key, plan)
+        (tmp_path / (key + ".json")).write_text("{definitely not json")
+        reader = PlanCache(capacity=8, disk_dir=str(tmp_path))
+        assert reader.lookup(key, tveg_factory=make_tveg) is None
+        assert reader.stats()["disk_errors"] >= 1
+
+    def test_truncated_entry_is_a_miss(self, tmp_path, plan_and_key):
+        plan, key = plan_and_key
+        writer = PlanCache(capacity=8, disk_dir=str(tmp_path))
+        writer.put(key, plan)
+        path = tmp_path / (key + ".json")
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        reader = PlanCache(capacity=8, disk_dir=str(tmp_path))
+        assert reader.lookup(key, tveg_factory=make_tveg) is None
+
+    def test_eviction_keeps_the_disk_entry(self, tmp_path, tveg, plan_and_key):
+        plan, key = plan_and_key
+        cache = PlanCache(capacity=1, disk_dir=str(tmp_path))
+        cache.put(key, plan)
+        other = plan_broadcast(tveg, None, 700.0, algorithm="eedcb", seed=SEED)
+        cache.put(
+            plan_cache_key(tveg, None, 700.0, algorithm="eedcb", seed=SEED),
+            other,
+        )
+        assert len(cache) == 1  # memory tier evicted the first plan...
+        assert key in cache.disk_keys()  # ...but the disk tier kept it
+        assert cache.lookup(key, tveg_factory=make_tveg) is not None
+
+    def test_racing_subprocess_writers_converge(self, tmp_path, plan_and_key):
+        plan, key = plan_and_key
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_subprocess_writer, args=(str(tmp_path),))
+            for _ in range(3)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        assert os.listdir(tmp_path) == [key + ".json"]
+        reader = PlanCache(capacity=8, disk_dir=str(tmp_path))
+        replayed = reader.lookup(key, tveg_factory=make_tveg)
+        assert replayed is not None
+        # whatever writer won the rename race, the bytes agree with the
+        # parent's own computation — cross-process determinism
+        assert canonical(replayed) == canonical(plan)

@@ -1,0 +1,132 @@
+"""Consistent-hash ring and request routing keys.
+
+The sharded service's correctness rests on two properties pinned here:
+
+* the ring is deterministic and balanced enough that repeat
+  configurations always land on the same (warm) shard, and resizing a
+  pool remaps only a minority of the key space;
+* ``routing_key`` is injective over request configurations — two
+  requests that could yield different plans never share a routing key —
+  while identical requests (however spelled) share one.
+"""
+
+import pytest
+
+from repro.service import HashRing, routing_key
+from repro.service.server import parse_plan_request
+from repro.traces import HaggleLikeConfig, haggle_like_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return haggle_like_trace(HaggleLikeConfig(num_nodes=10), seed=3)
+
+
+def keys(n: int):
+    return [f"{i:032x}" for i in range(n)]
+
+
+class TestHashRing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, replicas=0)
+
+    def test_deterministic_across_instances(self):
+        a, b = HashRing(5), HashRing(5)
+        assert [a.shard_for(k) for k in keys(200)] == [
+            b.shard_for(k) for k in keys(200)
+        ]
+
+    def test_range_and_single_shard(self):
+        ring = HashRing(3)
+        assert all(0 <= ring.shard_for(k) < 3 for k in keys(100))
+        one = HashRing(1)
+        assert all(one.shard_for(k) == 0 for k in keys(50))
+
+    def test_distribution_covers_every_shard(self):
+        ring = HashRing(4)
+        counts = ring.distribution(keys(400))
+        assert sum(counts) == 400
+        assert all(c > 0 for c in counts), f"empty shard: {counts}"
+        # 64 virtual nodes keep the skew moderate for realistic pools
+        assert max(counts) <= 4 * min(counts), counts
+
+    def test_resize_remaps_a_minority(self):
+        # the consistent-hashing contract: going 4 → 5 shards moves
+        # roughly 1/5 of keys, nowhere near the ~4/5 modulo hashing would
+        before, after = HashRing(4), HashRing(5)
+        ks = keys(1000)
+        moved = sum(
+            1 for k in ks if before.shard_for(k) != after.shard_for(k)
+        )
+        assert moved < 500, f"{moved}/1000 keys remapped"
+
+    def test_wraparound_key(self):
+        # a key hashing past the highest ring point wraps to the first;
+        # exercised statistically: every key must still resolve
+        ring = HashRing(2, replicas=1)  # 2 points, big gaps guarantee wrap
+        assert {ring.shard_for(k) for k in keys(300)} == {0, 1}
+
+
+class TestRoutingKey:
+    def parsed(self, path, body):
+        return parse_plan_request(path, body)
+
+    def key_of(self, trace, path, body):
+        method, kwargs = self.parsed(path, body)
+        return routing_key(trace, method, kwargs)
+
+    def test_identical_requests_share_a_key(self, trace):
+        body = {"deadline": 600.0, "window": 2000.0, "seed": 3}
+        assert self.key_of(trace, "/plan", dict(body)) == self.key_of(
+            trace, "/plan", dict(body)
+        )
+
+    def test_distinct_configs_get_distinct_keys(self, trace):
+        base = {"deadline": 600.0, "window": 2000.0, "seed": 3}
+        variants = [
+            {**base, "seed": 4},
+            {**base, "deadline": 700.0},
+            {**base, "window": 3000.0},
+            {**base, "source": 0},
+            {**base, "algorithm": "greed"},
+            {**base, "scheduler_kwargs": {"memt_method": "sptree"}},
+        ]
+        all_keys = [self.key_of(trace, "/plan", base)] + [
+            self.key_of(trace, "/plan", v) for v in variants
+        ]
+        assert len(set(all_keys)) == len(all_keys)
+
+    def test_window_list_and_tuple_agree(self, trace):
+        as_list = {"deadline": 600.0, "window": [1000.0, 3000.0], "seed": 3}
+        as_scalar = {"deadline": 600.0, "window": 2000.0, "seed": 3}
+        k_list = self.key_of(trace, "/plan", as_list)
+        assert k_list == self.key_of(trace, "/plan", dict(as_list))
+        assert k_list != self.key_of(trace, "/plan", as_scalar)
+
+    def test_plan_many_routes_by_first_member(self, trace):
+        many = {"sources": [2, 5], "deadlines": 600.0,
+                "window": 2000.0, "seed": 3}
+        single = {"source": 2, "deadline": 600.0,
+                  "window": 2000.0, "seed": 3}
+        assert self.key_of(trace, "/plan_many", many) == self.key_of(
+            trace, "/plan", single
+        )
+
+    def test_plan_many_list_deadlines(self, trace):
+        many = {"sources": [2, 5], "deadlines": [600.0, 700.0],
+                "window": 2000.0, "seed": 3}
+        single = {"source": 2, "deadline": 600.0,
+                  "window": 2000.0, "seed": 3}
+        assert self.key_of(trace, "/plan_many", many) == self.key_of(
+            trace, "/plan", single
+        )
+
+    def test_key_is_a_config_hash(self, trace):
+        key = self.key_of(
+            trace, "/plan", {"deadline": 600.0, "window": 2000.0, "seed": 3}
+        )
+        assert len(key) == 16
+        int(key, 16)  # hex string

@@ -269,6 +269,34 @@ class TestBatcher:
         with pytest.raises(ServiceOverloaded):
             b.submit("aa", lambda: 1)
 
+    def test_close_mid_queue_resolves_every_future(self):
+        # A wedged compute occupies the flush loop (max_batch=1 so it is
+        # its own batch) while more jobs queue behind it; close() must
+        # settle every queued future — completed or ServiceOverloaded —
+        # instead of leaving them pending forever.
+        release = threading.Event()
+        b = Batcher(workers=1, max_batch=1, max_wait=0.0)
+        blocker = b.submit("aa", lambda: release.wait(10) and 1)
+        deadline = time.time() + 5.0
+        while b.queue_depth > 0 and time.time() < deadline:
+            time.sleep(0.005)  # wait until the blocker is being executed
+        queued = [b.submit(f"{i:02x}", lambda i=i: i * 10) for i in range(4)]
+        closer = threading.Thread(target=lambda: b.close(timeout=0.3))
+        closer.start()
+        closer.join(timeout=10)
+        assert not closer.is_alive(), "close() hung on a wedged compute"
+        settled = 0
+        for f in queued:
+            assert f.done(), "close() left a queued future pending"
+            try:
+                assert f.result(0) in (0, 10, 20, 30)
+            except ServiceOverloaded:
+                settled += 1
+        assert settled >= 1  # the wedged flush can't have run them all
+        assert b.stats()["rejected"] >= settled
+        release.set()
+        assert blocker.result(5) == 1  # in-flight work still completes
+
     def test_validation(self):
         with pytest.raises(ValueError):
             Batcher(max_batch=0)

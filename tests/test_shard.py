@@ -1,0 +1,169 @@
+"""Multi-process shard pool: routing, backpressure, drain, identity.
+
+Boots real worker processes (stdlib ``multiprocessing``), so the tests
+here share one module-scoped two-shard pool and keep the instance small
+(8 nodes).  The byte-identity test is the load-bearing one: a plan
+computed in a shard worker must match the in-process computation after
+stripping the volatile timing fields — cross-process determinism is what
+lets the sharded service replace the single process transparently.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceOverloaded
+from repro.service import PlanningService, ShardPool
+from repro.traces import HaggleLikeConfig, haggle_like_trace
+
+BODY = {"deadline": 600.0, "window": 2000.0, "seed": 3}
+
+
+def strip_volatile(plan_doc):
+    doc = json.loads(json.dumps(plan_doc))
+    doc.get("manifest", {}).pop("created_unix", None)
+    doc.get("manifest", {}).pop("wall_seconds", None)
+    doc.get("info", {}).pop("stage_seconds", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return haggle_like_trace(HaggleLikeConfig(num_nodes=8), seed=3)
+
+
+@pytest.fixture(scope="module")
+def pool(trace):
+    with ShardPool(
+        {"demo": trace},
+        2,
+        service_kwargs={"max_wait": 0.0, "workers": 2},
+    ) as p:
+        yield p
+
+
+class TestShardPool:
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            ShardPool({"demo": trace}, 0)
+
+    def test_plan_round_trip(self, pool):
+        shard_id, future = pool.submit_request("plan", dict(BODY))
+        status, doc = future.result(timeout=120)
+        assert status == 200
+        assert 0 <= shard_id < pool.shards
+        assert doc["plan"]["feasibility"]["all_informed"] is True
+        # the response carries the plan-cache key (hashes the built TVEG);
+        # the routing key hashes the raw trace — deterministic, but distinct
+        assert len(doc["key"]) == 16
+        assert pool.routing("plan", BODY) == pool.routing("plan", BODY)
+
+    def test_affinity_and_cached_repeat(self, pool):
+        first, _ = pool.submit_request("plan", dict(BODY))
+        shard_ids = []
+        for _ in range(3):
+            shard_id, future = pool.submit_request("plan", dict(BODY))
+            status, doc = future.result(timeout=120)
+            shard_ids.append(shard_id)
+            assert status == 200
+        # one configuration, one owner shard — and its cache is warm now
+        assert set(shard_ids) == {first}
+        assert doc["cached"] is True
+
+    def test_plan_many_round_trip(self, pool):
+        body = {"sources": [None, None], "deadlines": 600.0,
+                "window": 2000.0, "seed": 3}
+        _, future = pool.submit_request("plan_many", body)
+        status, doc = future.result(timeout=120)
+        assert status == 200
+        assert len(doc["keys"]) == 2
+        assert doc["planset"]["plans"]
+
+    def test_infeasible_maps_to_422_doc(self, pool):
+        _, future = pool.submit_request(
+            "plan", {**BODY, "deadline": 0.001}
+        )
+        status, doc = future.result(timeout=120)
+        assert status == 422
+        assert "error" in doc
+
+    def test_unknown_trace_raises_before_dispatch(self, pool):
+        with pytest.raises(KeyError, match="unknown trace"):
+            pool.routing("plan", {**BODY, "trace": "nope"})
+
+    def test_metrics_shape(self, pool):
+        doc = pool.metrics()
+        assert doc["mode"] == "sharded"
+        assert len(doc["shards"]) == pool.shards
+        for entry in doc["shards"]:
+            assert entry["alive"] is True
+            assert entry["queue_depth"] is not None
+            assert "latency" in entry["service"]
+
+    def test_healthz(self, pool):
+        doc = pool.healthz()
+        assert doc["status"] == "ok"
+        assert doc["shards_alive"] == pool.shards
+
+    def test_warm_primes_the_owner_shard(self, pool):
+        body = {**BODY, "seed": 77}
+        report = pool.warm([body])
+        assert report == {"warmed": 1, "failed": 0}
+        _, future = pool.submit_request("plan", dict(body))
+        status, doc = future.result(timeout=120)
+        assert status == 200
+        assert doc["cached"] is True
+
+    def test_warm_unroutable_counts_failed(self, pool):
+        report = pool.warm([{**BODY, "trace": "nope"}])
+        assert report["failed"] == 1
+
+    def test_worker_plan_matches_in_process_plan(self, pool, trace):
+        # cross-process determinism: same config hash, same plan document
+        _, future = pool.submit_request("plan", dict(BODY))
+        status, doc = future.result(timeout=120)
+        assert status == 200
+        svc = PlanningService({"demo": trace}, max_wait=0.0)
+        try:
+            local = svc.plan(trace="demo", **BODY).as_doc()
+        finally:
+            svc.close()
+        assert doc["key"] == local["key"]
+        assert strip_volatile(doc["plan"]) == strip_volatile(local["plan"])
+
+
+class TestBackpressureAndDrain:
+    def test_inflight_bound_and_graceful_drain(self, trace):
+        pool = ShardPool(
+            {"demo": trace},
+            1,
+            max_inflight=1,
+            service_kwargs={"max_wait": 0.0, "workers": 1},
+        )
+        try:
+            # a cold compute holds the single in-flight slot...
+            _, busy = pool.submit_request(
+                "plan", {**BODY, "seed": 501}
+            )
+            # ...so a second data request bounces with 429 semantics
+            with pytest.raises(ServiceOverloaded):
+                pool.submit_request("plan", {**BODY, "seed": 502})
+            # control-plane methods bypass the data bound
+            assert pool.healthz()["shards_alive"] == 1
+            status, _ = busy.result(timeout=120)
+            assert status == 200
+        finally:
+            finals = pool.drain(timeout=30)
+        # drain handshake returned each shard's closing metrics document
+        assert len(finals) == 1
+        assert finals[0] is not None
+        assert finals[0]["requests"] >= 1
+        assert not pool.handles[0].proc.is_alive()
+
+    def test_submit_after_drain_rejected(self, trace):
+        pool = ShardPool(
+            {"demo": trace}, 1, service_kwargs={"max_wait": 0.0}
+        )
+        pool.drain(timeout=30)
+        with pytest.raises(ServiceOverloaded):
+            pool.submit_request("plan", dict(BODY))

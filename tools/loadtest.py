@@ -1,0 +1,573 @@
+#!/usr/bin/env python
+"""Load generator for the planning service: throughput, tails, identity.
+
+Drives a running ``repro serve`` endpoint — or boots one (or two, with
+``--compare``) itself — with a mixed workload shaped like the paper's
+deployment story: a **hot** configuration most clients repeat (the
+cache-hit share), a **tail** of distinct configurations (the miss
+share), and a sprinkle of ``POST /plan_many`` batch requests.  Reports
+closed- or open-loop throughput with p50/p95/p99 latency per request
+class, and checks that every response for one configuration carries a
+byte-identical plan after stripping the volatile timing fields
+(``wall_seconds``, ``manifest.created_unix``, ``info.stage_seconds`` —
+everything else is deterministic content).
+
+Examples::
+
+    # drive an already-running server
+    PYTHONPATH=src python tools/loadtest.py --url http://127.0.0.1:8437 \\
+        --requests 200 --concurrency 16
+
+    # boot a 2-shard server, warm the tail, assert for CI
+    PYTHONPATH=src python tools/loadtest.py --boot --shards 2 \\
+        --requests 200 --concurrency 16 --warm-tail \\
+        --assert-zero-errors --assert-cache-hits --out report.json
+
+    # the acceptance experiment: 4 shards vs the single-process server
+    PYTHONPATH=src python tools/loadtest.py --compare --shards 4 \\
+        --requests 400 --concurrency 16 --warm-tail --min-speedup 4
+
+Exits nonzero when any ``--assert-*`` / ``--min-speedup`` bound fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.obs.metrics import percentile  # noqa: E402
+
+#: volatile response-envelope fields stripped before identity comparison
+_VOLATILE_ENVELOPE = ("cached", "wall_seconds")
+
+
+# ----------------------------------------------------------------------
+# workload
+# ----------------------------------------------------------------------
+
+
+def build_workload(args) -> List[Tuple[str, Dict[str, Any]]]:
+    """The request list: ``[(path, body), ...]`` in issue order.
+
+    Deterministic for a given argument set (no RNG): the hit/miss/batch
+    mix is laid out round-robin so every concurrency level sees the same
+    request population and runs stay comparable.
+    """
+    base = {"deadline": args.deadline, "window": args.window,
+            "seed": args.seed}
+    n_many = int(args.requests * args.plan_many_ratio)
+    n_tail = int(args.requests * (1.0 - args.hit_ratio))
+    n_hot = args.requests - n_tail - n_many
+    if n_hot < 0:
+        raise SystemExit("hit/plan_many ratios exceed the request budget")
+    cold: List[Tuple[str, Dict[str, Any]]] = []
+    for i in range(n_tail):
+        # distinct cache keys, same planning cost: the channel seed is
+        # part of the configuration identity
+        cold.append(("/plan", {**base, "seed": args.tail_seed_base + i}))
+    many_body = {"sources": [None, None], "deadlines": args.deadline,
+                 "window": args.window, "seed": args.seed}
+    cold += [("/plan_many", dict(many_body))] * n_many
+    # interleave: spread the non-hot requests evenly through the hot
+    # stream so hits and misses contend realistically at any concurrency
+    mixed: List[Tuple[str, Dict[str, Any]]] = []
+    stride = max(1, args.requests // max(1, len(cold)))
+    cold_iter = iter(cold)
+    hot_left = n_hot
+    for i in range(args.requests):
+        nxt = next(cold_iter, None) if i % stride == stride - 1 else None
+        if nxt is None and hot_left > 0:
+            hot_left -= 1
+            nxt = ("/plan", dict(base))
+        if nxt is None:
+            nxt = next(cold_iter, None)
+        if nxt is not None:
+            mixed.append(nxt)
+    # anything the stride arithmetic left over still ships
+    mixed.extend(cold_iter)
+    for _ in range(hot_left):
+        mixed.append(("/plan", dict(base)))
+    return mixed
+
+
+def warm_bodies(args) -> List[Dict[str, Any]]:
+    """The ``--warm`` file contents priming every workload configuration."""
+    bodies = [{"deadline": args.deadline, "window": args.window,
+               "seed": args.seed}]
+    n_tail = int(args.requests * (1.0 - args.hit_ratio))
+    for i in range(n_tail):
+        bodies.append({"deadline": args.deadline, "window": args.window,
+                       "seed": args.tail_seed_base + i})
+    return bodies
+
+
+# ----------------------------------------------------------------------
+# HTTP + server lifecycle
+# ----------------------------------------------------------------------
+
+
+def _post(url: str, path: str, body: Dict[str, Any], timeout: float):
+    data = json.dumps(body).encode("utf-8")
+    req = urllib.request.Request(url + path, data=data, method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class PooledClient:
+    """One persistent keep-alive connection per calling thread.
+
+    ``urllib`` opens (and tears down) a TCP connection per request, which
+    on a one-box benchmark costs about as much as the server spends
+    answering — the measurement ends up client-bound and both servers
+    read the same.  A thread-local :class:`http.client.HTTPConnection`
+    reuses the connection when the server keeps it alive (the async
+    front-end does) and transparently reconnects when it does not (the
+    legacy HTTP/1.0 server closes after every response — that churn is
+    part of what the comparison measures).
+    """
+
+    def __init__(self, url: str, timeout: float) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        self._timeout = timeout
+        self._local = threading.local()
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def post(self, path: str, body: Dict[str, Any]):
+        data = json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        for attempt in (0, 1):
+            conn = getattr(self._local, "conn", None)
+            if conn is None:
+                conn = http.client.HTTPConnection(
+                    self._host, self._port, timeout=self._timeout
+                )
+                self._local.conn = conn
+            try:
+                conn.request("POST", path, body=data, headers=headers)
+                resp = conn.getresponse()
+                payload = resp.read()
+                if resp.will_close:
+                    conn.close()
+                    self._local.conn = None
+                return resp.status, json.loads(payload)
+            except (http.client.HTTPException, OSError):
+                # stale keep-alive connection (server restarted or timed
+                # it out): reconnect once, then let the failure surface
+                conn.close()
+                self._local.conn = None
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+
+def _get(url: str, path: str, timeout: float = 30.0):
+    with urllib.request.urlopen(url + path, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+class BootedServer:
+    """A ``repro serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, args, shards: int, legacy: bool,
+                 warm_file: Optional[str]) -> None:
+        cmd = [
+            sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--synthetic", str(args.nodes), "--seed", str(args.trace_seed),
+            "--cache-capacity", str(args.cache_capacity),
+        ]
+        if shards:
+            cmd += ["--shards", str(shards), "--max-wait", "0"]
+        if legacy:
+            cmd += ["--legacy-http"]
+        if warm_file:
+            cmd += ["--warm", warm_file]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (sys.path[0], env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env,
+        )
+        self.url = self._await_ready(args.boot_timeout)
+
+    def _await_ready(self, timeout: float) -> str:
+        deadline = time.time() + timeout
+        assert self.proc.stdout is not None
+        while time.time() < deadline:
+            if self.proc.poll() is not None:
+                raise SystemExit(
+                    f"server exited during boot (rc {self.proc.returncode})"
+                )
+            line = self.proc.stdout.readline()
+            if "serving on http://" in line:
+                return "http://" + line.split("http://")[1].split()[0]
+        raise SystemExit(f"server not ready within {timeout:.0f}s")
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+
+
+def normalized_plan(doc: Dict[str, Any]) -> str:
+    """A plan document serialized with volatile timing fields removed."""
+    plan = json.loads(json.dumps(doc))  # deep copy
+    plan.get("manifest", {}).pop("created_unix", None)
+    plan.get("manifest", {}).pop("wall_seconds", None)
+    plan.get("info", {}).pop("stage_seconds", None)
+    return json.dumps(plan, sort_keys=True)
+
+
+class IdentityTracker:
+    """Asserts one configuration always serves one (normalized) plan."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seen: Dict[str, str] = {}
+        self.violations: List[str] = []
+
+    def observe(self, key: str, plan_doc: Dict[str, Any]) -> None:
+        norm = normalized_plan(plan_doc)
+        with self._lock:
+            prior = self._seen.setdefault(key, norm)
+            if prior != norm and key not in self.violations:
+                self.violations.append(key)
+
+    def snapshot(self) -> Dict[str, str]:
+        with self._lock:
+            return dict(self._seen)
+
+
+def run_load(
+    url: str,
+    workload: List[Tuple[str, Dict[str, Any]]],
+    args,
+    identity: Optional[IdentityTracker] = None,
+) -> Dict[str, Any]:
+    """Execute the workload; returns the report document."""
+    results: List[Tuple[str, int, float, bool]] = [None] * len(workload)  # type: ignore[list-item]
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+    interval = (1.0 / args.rate) if args.rate else 0.0
+    client = PooledClient(url, args.request_timeout)
+    t_start = time.perf_counter()
+
+    def issue(i: int) -> None:
+        path, body = workload[i]
+        t0 = time.perf_counter()
+        try:
+            status, doc = client.post(path, body)
+        except Exception:
+            results[i] = (path, -1, time.perf_counter() - t0, False)
+            return
+        latency = time.perf_counter() - t0
+        cached = bool(doc.get("cached")) if path == "/plan" else (
+            all(doc.get("cached") or [False])
+        )
+        if status == 200 and identity is not None:
+            if path == "/plan":
+                identity.observe(doc["key"], doc["plan"])
+            else:
+                for key, plan in zip(doc["keys"],
+                                     doc["planset"].get("plans", [])):
+                    identity.observe(key, plan)
+        results[i] = (path, status, latency, cached if status == 200 else False)
+
+    def closed_worker() -> None:
+        while True:
+            with cursor_lock:
+                i = cursor["next"]
+                if i >= len(workload):
+                    return
+                cursor["next"] = i + 1
+            issue(i)
+
+    if args.rate:  # open loop: issue at a fixed rate, unbounded outstanding
+        threads: List[threading.Thread] = []
+        for i in range(len(workload)):
+            target = t_start + i * interval
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            t = threading.Thread(target=issue, args=(i,), daemon=True)
+            t.start()
+            threads.append(t)
+        for t in threads:
+            t.join(timeout=args.request_timeout + 10)
+    else:  # closed loop: fixed concurrency, next request after the last
+        threads = [
+            threading.Thread(target=closed_worker, daemon=True)
+            for _ in range(args.concurrency)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=len(workload) * args.request_timeout)
+    duration = time.perf_counter() - t_start
+
+    done = [r for r in results if r is not None]
+    oks = [r for r in done if r[1] == 200]
+    errors = [r for r in done if r[1] not in (200,)]
+    latencies = [r[2] for r in oks]
+
+    def tail(values: List[float]) -> Dict[str, float]:
+        if not values:
+            return {}
+        return {
+            "p50_ms": percentile(values, 50.0) * 1e3,
+            "p95_ms": percentile(values, 95.0) * 1e3,
+            "p99_ms": percentile(values, 99.0) * 1e3,
+            "max_ms": max(values) * 1e3,
+            "mean_ms": sum(values) / len(values) * 1e3,
+        }
+
+    by_class: Dict[str, Dict[str, Any]] = {}
+    for label, match in (
+        ("hit", lambda r: r[0] == "/plan" and r[3]),
+        ("miss", lambda r: r[0] == "/plan" and not r[3]),
+        ("plan_many", lambda r: r[0] == "/plan_many"),
+    ):
+        sub = [r[2] for r in oks if match(r)]
+        by_class[label] = {"count": len(sub), **tail(sub)}
+
+    return {
+        "mode": "open" if args.rate else "closed",
+        "url": url,
+        "requests": len(workload),
+        "completed": len(done),
+        "ok": len(oks),
+        "errors": len(errors),
+        "error_statuses": sorted({r[1] for r in errors}),
+        "cache_hits": sum(1 for r in oks if r[3]),
+        "duration_seconds": duration,
+        "throughput_rps": len(oks) / duration if duration > 0 else 0.0,
+        "concurrency": args.concurrency,
+        "rate": args.rate,
+        "latency": tail(latencies),
+        "by_class": by_class,
+    }
+
+
+# ----------------------------------------------------------------------
+# entry
+# ----------------------------------------------------------------------
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    target = p.add_mutually_exclusive_group()
+    target.add_argument("--url", default=None,
+                        help="drive an already-running server")
+    target.add_argument("--boot", action="store_true",
+                        help="boot a repro serve subprocess to drive")
+    target.add_argument("--compare", action="store_true",
+                        help="boot both the single-process (legacy) server "
+                        "and a sharded one; report the throughput ratio and "
+                        "cross-check plan identity")
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--concurrency", type=int, default=16,
+                   help="closed-loop worker count (ignored with --rate)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="open-loop request rate in rps (default: closed loop)")
+    p.add_argument("--hit-ratio", type=float, default=0.8,
+                   help="share of requests repeating the hot configuration")
+    p.add_argument("--plan-many-ratio", type=float, default=0.05,
+                   help="share of requests using POST /plan_many")
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard count for --boot/--compare servers")
+    p.add_argument("--legacy-http", action="store_true",
+                   help="with --boot: use the blocking threaded front-end")
+    p.add_argument("--warm-tail", action="store_true",
+                   help="with --boot/--compare: write the tail configs to a "
+                   "--warm file so misses exercise the shared cache tiers "
+                   "instead of cold planning")
+    p.add_argument("--nodes", type=int, default=12,
+                   help="synthetic trace size for booted servers")
+    p.add_argument("--trace-seed", type=int, default=3,
+                   help="synthetic trace seed for booted servers")
+    p.add_argument("--cache-capacity", type=int, default=128,
+                   help="booted servers' in-memory plan-cache entries")
+    p.add_argument("--deadline", type=float, default=600.0)
+    p.add_argument("--window", type=float, default=2000.0)
+    p.add_argument("--seed", type=int, default=3,
+                   help="hot configuration's channel seed")
+    p.add_argument("--tail-seed-base", type=int, default=1000,
+                   help="first channel seed of the distinct-config tail")
+    p.add_argument("--request-timeout", type=float, default=120.0)
+    p.add_argument("--boot-timeout", type=float, default=120.0)
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the JSON report here")
+    p.add_argument("--assert-zero-errors", action="store_true")
+    p.add_argument("--assert-cache-hits", action="store_true",
+                   help="fail unless at least one response was cache-served")
+    p.add_argument("--assert-min-rps", type=float, default=None)
+    p.add_argument("--min-speedup", type=float, default=None,
+                   help="with --compare: fail when sharded/single throughput "
+                   "falls below this ratio")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    if args.url is None and not args.boot and not args.compare:
+        args.boot = True
+    workload = build_workload(args)
+    warm_file = None
+    report: Dict[str, Any]
+    failures: List[str] = []
+
+    try:
+        if args.warm_tail and not args.url:
+            fd, warm_file = tempfile.mkstemp(suffix=".json", prefix="warm-")
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(warm_bodies(args), f)
+
+        if args.compare:
+            identity = IdentityTracker()
+            print("# booting single-process baseline (legacy front-end)")
+            single = BootedServer(args, shards=0, legacy=True,
+                                  warm_file=warm_file)
+            try:
+                single_report = run_load(single.url, workload, args, identity)
+            finally:
+                single.stop()
+            print(f"# single: {single_report['throughput_rps']:.1f} rps, "
+                  f"p99 {single_report['latency'].get('p99_ms', 0):.1f} ms")
+            print(f"# booting {args.shards}-shard server")
+            sharded = BootedServer(args, shards=args.shards, legacy=False,
+                                   warm_file=warm_file)
+            try:
+                sharded_report = run_load(sharded.url, workload, args,
+                                          identity)
+            finally:
+                sharded.stop()
+            print(f"# sharded: {sharded_report['throughput_rps']:.1f} rps, "
+                  f"p99 {sharded_report['latency'].get('p99_ms', 0):.1f} ms")
+            ratio = (
+                sharded_report["throughput_rps"]
+                / single_report["throughput_rps"]
+                if single_report["throughput_rps"] else float("inf")
+            )
+            report = {
+                "compare": True,
+                "shards": args.shards,
+                "speedup": ratio,
+                "identity_violations": identity.violations,
+                "configs_checked": len(identity.snapshot()),
+                "single": single_report,
+                "sharded": sharded_report,
+            }
+            print(f"# speedup: {ratio:.2f}x over "
+                  f"{report['configs_checked']} configs "
+                  f"({len(identity.violations)} identity violations)")
+            if identity.violations:
+                failures.append(
+                    f"plans diverged across servers for keys "
+                    f"{identity.violations[:5]}"
+                )
+            if args.min_speedup and ratio < args.min_speedup:
+                failures.append(
+                    f"speedup {ratio:.2f}x < required {args.min_speedup}x"
+                )
+            for rep, name in ((single_report, "single"),
+                              (sharded_report, "sharded")):
+                if args.assert_zero_errors and rep["errors"]:
+                    failures.append(f"{name}: {rep['errors']} errors "
+                                    f"(statuses {rep['error_statuses']})")
+                if args.assert_cache_hits and rep["cache_hits"] == 0:
+                    failures.append(f"{name}: no cache hits")
+        else:
+            server = None
+            url = args.url
+            if not url:
+                server = BootedServer(
+                    args, shards=0 if args.legacy_http else args.shards,
+                    legacy=args.legacy_http, warm_file=warm_file,
+                )
+                url = server.url
+            identity = IdentityTracker()
+            try:
+                report = run_load(url, workload, args, identity)
+            finally:
+                if server is not None:
+                    server.stop()
+            report["identity_violations"] = identity.violations
+            report["configs_checked"] = len(identity.snapshot())
+            print(f"# {report['throughput_rps']:.1f} rps over "
+                  f"{report['ok']}/{report['requests']} ok requests "
+                  f"({report['errors']} errors, "
+                  f"{report['cache_hits']} cache hits)")
+            lat = report["latency"]
+            if lat:
+                print(f"# latency p50 {lat['p50_ms']:.2f} ms | "
+                      f"p95 {lat['p95_ms']:.2f} ms | "
+                      f"p99 {lat['p99_ms']:.2f} ms")
+            if identity.violations:
+                failures.append(
+                    f"non-identical plans for keys {identity.violations[:5]}"
+                )
+            if args.assert_zero_errors and report["errors"]:
+                failures.append(f"{report['errors']} errors "
+                                f"(statuses {report['error_statuses']})")
+            if args.assert_cache_hits and report["cache_hits"] == 0:
+                failures.append("no cache hits")
+            if (args.assert_min_rps
+                    and report["throughput_rps"] < args.assert_min_rps):
+                failures.append(
+                    f"throughput {report['throughput_rps']:.1f} rps < "
+                    f"required {args.assert_min_rps}"
+                )
+    finally:
+        if warm_file:
+            try:
+                os.unlink(warm_file)
+            except OSError:
+                pass
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+        print(f"# report written to {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

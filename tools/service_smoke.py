@@ -28,9 +28,9 @@ import urllib.error
 import urllib.request
 
 
-def _post(url: str, body: dict, timeout: float = 60.0):
+def _post(url: str, body: dict, timeout: float = 60.0, path: str = "/plan"):
     req = urllib.request.Request(
-        url + "/plan", data=json.dumps(body).encode("utf-8"), method="POST"
+        url + path, data=json.dumps(body).encode("utf-8"), method="POST"
     )
     try:
         with urllib.request.urlopen(req, timeout=timeout) as resp:
@@ -106,6 +106,23 @@ def main() -> int:
     st, replay, _ = _post(url, body)
     check(st == 200 and replay["cached"],
           "follow-up duplicate request is answered from the cache")
+
+    # --- property 1b: POST /plan_many shares the single-plan cache ------
+    many_body = {"sources": [None, None], "deadlines": 2000,
+                 "window": 9000, "seed": 3}
+    st, many, _ = _post(url, many_body, path="/plan_many")
+    check(st == 200 and len(many["keys"]) == 2,
+          "POST /plan_many returned a 2-member plan set")
+    check(all(k == replay["key"] for k in many["keys"]),
+          "plan_many members key the cache identically to POST /plan")
+    check(all(many["cached"]),
+          "plan_many members were answered from the shared plan cache")
+    member = json.dumps(many["planset"]["plans"][0], sort_keys=True)
+    check(member == json.dumps(replay["plan"], sort_keys=True),
+          "plan_many member plan is byte-identical to the /plan response")
+    st, bad, _ = _post(url, {"deadlines": 2000}, path="/plan_many")
+    check(st == 400 and "sources" in bad["error"],
+          "plan_many without sources is a 400 naming the missing field")
     stats = _get(url, "/cache/stats")
     check(stats["hits"] >= 1, f"/cache/stats records hits ({stats['hits']})")
     health = _get(url, "/healthz")
