@@ -277,6 +277,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve with the threaded blocking front-end instead "
                    "of the asyncio server (single-process only)")
 
+    t = sub.add_parser(
+        "top", parents=[common],
+        help="live per-shard view of a running service: polls GET /metrics "
+        "and renders qps, latency percentiles, and cache hit ratios",
+    )
+    t.add_argument("url", nargs="?", default="http://127.0.0.1:8437",
+                   help="base URL of the service (default "
+                   "http://127.0.0.1:8437)")
+    t.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    t.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="render N frames then exit (default: until Ctrl-C)")
+    t.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (same as "
+                   "--iterations 1)")
+    t.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of clearing the screen "
+                   "(useful when piping to a file)")
+
     k = sub.add_parser(
         "cache", parents=[common],
         help="inspect or clear a persistent plan-cache directory",
@@ -622,6 +641,16 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from .service import top_loop
+
+    iterations = 1 if args.once else args.iterations
+    return top_loop(
+        args.url, interval=args.interval, iterations=iterations,
+        clear=not args.no_clear,
+    )
+
+
 def _cmd_cache(args) -> int:
     import os
 
@@ -663,6 +692,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "cache": _cmd_cache,
 }
 

@@ -23,6 +23,13 @@ subcommands.  See :mod:`repro.obs.tracer` for the span API,
 Chrome ``trace_event`` and CSV formats.
 """
 
+from .context import (
+    current_request_id,
+    current_shard_id,
+    new_request_id,
+    request_context,
+    set_shard_id,
+)
 from .events import (
     EV_BATCH_FLUSHED,
     EV_CONSTRAINT_VIOLATED,
@@ -73,7 +80,14 @@ from .manifest import (
     run_manifest,
     write_manifest,
 )
+from .histogram import DEFAULT_LATENCY_BUCKETS, FixedHistogram, MetricsRegistry
 from .metrics import Histogram, MetricsReport, MetricStat, aggregate, percentile
+from .promtext import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus_text,
+    render_prometheus,
+    wants_prometheus,
+)
 from .tracer import (
     NoopTracer,
     Span,
@@ -115,6 +129,20 @@ __all__ = [
     "MetricsReport",
     "aggregate",
     "percentile",
+    # streaming histograms + exposition
+    "DEFAULT_LATENCY_BUCKETS",
+    "FixedHistogram",
+    "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "parse_prometheus_text",
+    "wants_prometheus",
+    # request context
+    "new_request_id",
+    "current_request_id",
+    "request_context",
+    "set_shard_id",
+    "current_shard_id",
     # export
     "chrome_trace_events",
     "chrome_trace_document",

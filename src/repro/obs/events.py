@@ -80,13 +80,14 @@ EV_RUN_SUMMARY = "run_summary"
 EV_PLAN_CACHE_HIT = "plan_cache_hit"
 #: a plan request missed the cache and was computed (key)
 EV_PLAN_CACHE_MISS = "plan_cache_miss"
-#: the batcher executed one group of queued requests (size, unique, deduped)
+#: the batcher executed one group of queued requests (size, unique, deduped,
+#: groups: per-key request-id lists — first id is the leader that computed)
 EV_BATCH_FLUSHED = "batch_flushed"
 #: admission control turned a request away (reason: queue_full | timeout)
 EV_REQUEST_REJECTED = "request_rejected"
-#: a planning-service shard worker process came up (shard, pid)
+#: a planning-service shard worker process came up (shard_id, pid)
 EV_SHARD_STARTED = "shard_started"
-#: a shard worker left the pool (shard, pid, requests, clean)
+#: a shard worker left the pool (shard_id, pid, requests, clean)
 EV_SHARD_EXITED = "shard_exited"
 
 EVENT_TYPES = (

@@ -36,6 +36,7 @@ import os
 import threading
 from typing import Any, Iterable, List, Optional, TextIO, Tuple, Union
 
+from .context import current_request_id, current_shard_id
 from .events import Event, event_from_json, event_to_json
 
 __all__ = [
@@ -90,7 +91,23 @@ class Ledger:
         self._level = level
 
     def emit(self, type: str, t: Optional[float] = None, **fields: Any) -> Event:
-        """Record one event; returns the stored :class:`Event`."""
+        """Record one event; returns the stored :class:`Event`.
+
+        Events emitted inside a :func:`repro.obs.context.request_context`
+        scope are tagged with the ambient ``request_id``; processes that
+        declared a shard identity tag every event with ``shard_id``.
+        Explicit fields at the call site win over the ambient values.
+        Only the recording ledger pays for these lookups — the no-op
+        path is untouched.
+        """
+        if "request_id" not in fields:
+            rid = current_request_id()
+            if rid is not None:
+                fields["request_id"] = rid
+        if "shard_id" not in fields:
+            sid = current_shard_id()
+            if sid is not None:
+                fields["shard_id"] = sid
         with self._lock:
             ev = Event(seq=self._seq, type=type, t=t, fields=fields)
             self._seq += 1

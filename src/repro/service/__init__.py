@@ -23,7 +23,10 @@ serving layer — compute once, answer many:
 * :mod:`~repro.service.asgi` — the asyncio HTTP front-end
   (:class:`AsyncPlanningServer`) behind ``repro serve``: keep-alive,
   single-buffer responses, per-shard backpressure, an edge cache of
-  serialized responses, and graceful SIGTERM drain.
+  serialized responses, and graceful SIGTERM drain;
+* :mod:`~repro.service.top` — the ``repro top`` live view: polls
+  ``GET /metrics`` and renders per-shard qps, latency percentiles,
+  queue depth, and cache hit ratios in the terminal.
 
 Quick embedding::
 
@@ -55,6 +58,7 @@ from .server import (
     serve,
 )
 from .shard import ShardHandle, ShardPool
+from .top import ShardRow, build_rows, fetch_metrics, render_top, top_loop
 
 __all__ = [
     "AsyncPlanningServer",
@@ -70,8 +74,13 @@ __all__ = [
     "PlanningService",
     "ShardHandle",
     "ShardPool",
+    "ShardRow",
+    "build_rows",
+    "fetch_metrics",
     "make_server",
     "read_warm_file",
+    "render_top",
     "routing_key",
     "serve",
+    "top_loop",
 ]

@@ -35,11 +35,19 @@ import asyncio
 import json
 import socket
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
+from .. import obs
 from ..errors import ServiceOverloaded
+from ..obs.histogram import MetricsRegistry
+from ..obs.promtext import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    wants_prometheus,
+)
 from ..traces.model import ContactTrace
 from .router import routing_key
 from .server import (
@@ -121,8 +129,16 @@ class LocalBackend:
                 )
             self._inflight += 1
 
+        # Capture the edge's request id here (the event-loop task holds
+        # the context); the pool thread re-enters it so in-process serving
+        # is attributable exactly like a shard worker's.
+        request_id = obs.current_request_id()
+
         def run() -> Tuple[int, Dict[str, Any]]:
             try:
+                if request_id is not None:
+                    with obs.request_context(request_id):
+                        return execute_request(self.service, method, kwargs)
                 return execute_request(self.service, method, kwargs)
             finally:
                 with self._lock:
@@ -252,6 +268,10 @@ class AsyncPlanningServer:
         self._served = 0
         self._errors = 0
         self._draining = False
+        # Edge-side telemetry: parse/route stage latencies plus the
+        # end-to-end wall of every POST (including edge-cache hits that
+        # never reach a worker) — reported under /metrics "frontend".
+        self.telemetry = MetricsRegistry()
 
     @property
     def served(self) -> int:
@@ -379,13 +399,15 @@ class AsyncPlanningServer:
         keep_alive: bool,
         extra_headers: Optional[Mapping[str, str]] = None,
     ) -> bytes:
+        extra = dict(extra_headers or {})
+        content_type = extra.pop("Content-Type", "application/json")
         lines = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: " + ("keep-alive" if keep_alive else "close"),
         ]
-        for name, value in (extra_headers or {}).items():
+        for name, value in extra.items():
             lines.append(f"{name}: {value}")
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         return head + body
@@ -398,8 +420,21 @@ class AsyncPlanningServer:
         verb, path, headers, body = request
         keep_alive = headers.get("connection", "").lower() != "close"
         self._active_requests += 1
+        rid: Optional[str] = None
+        t0 = time.perf_counter()
         try:
-            status, payload, extra = await self._handle(verb, path, body)
+            if verb == "POST":
+                # Trace context is minted here, at the edge; an upstream
+                # X-Request-Id wins so proxy correlation ids survive.
+                rid = headers.get("x-request-id") or obs.new_request_id()
+                with obs.request_context(rid):
+                    status, payload, extra = await self._handle(
+                        verb, path, headers, body
+                    )
+            else:
+                status, payload, extra = await self._handle(
+                    verb, path, headers, body
+                )
         except Exception as exc:  # last-resort: never kill the connection loop
             self._errors += 1
             status, extra = 500, None
@@ -408,6 +443,10 @@ class AsyncPlanningServer:
             ).encode("utf-8")
         finally:
             self._active_requests -= 1
+        if rid is not None:
+            extra = dict(extra or {})
+            extra["X-Request-Id"] = rid
+            self.telemetry.observe("request.edge", time.perf_counter() - t0)
         self._served += 1
         if status >= 400:
             self._errors += 1
@@ -429,19 +468,20 @@ class AsyncPlanningServer:
         return json.dumps(doc, sort_keys=True).encode("utf-8"), extra
 
     async def _handle(
-        self, verb: str, path: str, body: bytes
+        self, verb: str, path: str, headers: Mapping[str, str], body: bytes
     ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
         if verb == "GET":
-            return await self._handle_get(path)
+            return await self._handle_get(path, headers)
         if verb != "POST":
             payload, extra = self._error_doc(f"method {verb} not allowed")
             return 405, payload, extra
         return await self._handle_post(path, body)
 
     async def _handle_get(
-        self, path: str
+        self, path: str, headers: Mapping[str, str]
     ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
         loop = asyncio.get_running_loop()
+        path = path.partition("?")[0]
         if path == "/healthz":
             doc = await loop.run_in_executor(None, self.backend.healthz)
         elif path == "/metrics":
@@ -451,7 +491,16 @@ class AsyncPlanningServer:
                 "served": self._served,
                 "errors": self._errors,
                 "edge_cache": self._edge.stats(),
+                "telemetry": self.telemetry.as_doc(),
             }
+            if wants_prometheus(headers.get("accept")):
+                # Same document, negotiated representation: Prometheus
+                # exposition text.  JSON clients see identical bytes to
+                # what they always got.
+                text = render_prometheus(doc)
+                return 200, text.encode("utf-8"), {
+                    "Content-Type": PROMETHEUS_CONTENT_TYPE,
+                }
         elif path == "/cache/stats":
             doc = await loop.run_in_executor(None, self.backend.cache_stats)
         else:
@@ -463,6 +512,7 @@ class AsyncPlanningServer:
         self, path: str, body: bytes
     ) -> Tuple[int, bytes, Optional[Dict[str, str]]]:
         t0 = asyncio.get_running_loop().time()
+        t_parse = time.perf_counter()
         try:
             parsed = json.loads(body.decode("utf-8")) if body else {}
         except (ValueError, UnicodeDecodeError) as exc:
@@ -478,12 +528,14 @@ class AsyncPlanningServer:
         except ValueError as exc:
             payload, extra = self._error_doc(str(exc))
             return 400, payload, extra
+        self.telemetry.observe("stage.edge_parse", time.perf_counter() - t_parse)
         if self._draining:
             payload, extra = self._error_doc(
                 "service is draining", retry_after=1.0
             )
             return 503, payload, extra
 
+        t_route = time.perf_counter()
         try:
             key = self.backend.routing(method, kwargs)
         except KeyError as exc:
@@ -491,6 +543,7 @@ class AsyncPlanningServer:
                 str(exc.args[0] if exc.args else exc)
             )
             return 404, payload, extra
+        self.telemetry.observe("stage.route", time.perf_counter() - t_route)
 
         if method == "plan":
             hit = self._edge.get(key)

@@ -34,11 +34,13 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from .. import obs
 from ..errors import ServiceOverloaded
+from ..obs.histogram import MetricsRegistry
 from ..parallel import resolve_workers, thread_map
 
 __all__ = ["Batcher", "BatcherStats"]
@@ -71,6 +73,12 @@ class _Job:
     key: str
     compute: Callable[[], Any]
     future: "Future[Any]"
+    # Trace context travels with the job, not the thread: the submitter's
+    # request id re-enters scope on the flush pool so the compute's ledger
+    # events stay attributable, and the enqueue timestamp feeds the
+    # queue-wait histogram.
+    request_id: Optional[str] = None
+    enqueued_at: float = 0.0
 
 
 class Batcher:
@@ -92,6 +100,10 @@ class Batcher:
     max_queue:
         Admission bound; ``submit`` past it raises
         :class:`~repro.errors.ServiceOverloaded`.  ``0`` means unbounded.
+    metrics:
+        Optional :class:`~repro.obs.histogram.MetricsRegistry` receiving
+        the ``stage.queue_wait`` / ``stage.batch_wait`` /
+        ``stage.compute`` histograms (a private registry when omitted).
     """
 
     def __init__(
@@ -100,6 +112,7 @@ class Batcher:
         max_batch: int = 32,
         max_wait: float = 0.005,
         max_queue: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -115,6 +128,10 @@ class Batcher:
         )
         self._stats = BatcherStats()
         self._stats_lock = threading.Lock()
+        # Stage-latency sink (queue_wait / batch_wait / compute); the
+        # owning PlanningService passes its registry so all stages land
+        # in one mergeable document.
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._closed = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name="repro-batcher", daemon=True
@@ -147,7 +164,13 @@ class Batcher:
         """
         if self._closed.is_set():
             raise ServiceOverloaded("planning service is shutting down")
-        job = _Job(key=key, compute=compute, future=Future())
+        job = _Job(
+            key=key,
+            compute=compute,
+            future=Future(),
+            request_id=obs.current_request_id(),
+            enqueued_at=time.monotonic(),
+        )
         try:
             self._queue.put_nowait(job)
         except queue.Full:
@@ -263,11 +286,32 @@ class Batcher:
             groups.setdefault(job.key, []).append(job)
         leaders = [jobs[0] for jobs in groups.values()]
 
+        flush_started = time.monotonic()
+        metrics = self._metrics
+        for job in batch:
+            metrics.observe("stage.queue_wait", flush_started - job.enqueued_at)
+
         def run(leader: _Job) -> Any:
-            try:
-                return leader.compute()
-            except BaseException as exc:  # delivered via the futures
-                return _Failure(exc)
+            started = time.monotonic()
+            metrics.observe("stage.batch_wait", started - flush_started)
+            # Re-enter the leader's request scope on this pool thread so the
+            # compute's cache/plan events carry the originating request id.
+            # Jobs submitted outside any request scope run without one —
+            # no id is invented for them.
+            if leader.request_id is not None:
+                ctx: Any = obs.request_context(leader.request_id)
+            else:
+                ctx = nullcontext()
+            with ctx:
+                try:
+                    result = leader.compute()
+                except BaseException as exc:  # delivered via the futures
+                    metrics.observe(
+                        "stage.compute", time.monotonic() - started
+                    )
+                    return _Failure(exc)
+            metrics.observe("stage.compute", time.monotonic() - started)
+            return result
 
         results = thread_map(run, leaders, workers=self._workers)
 
@@ -293,9 +337,17 @@ class Batcher:
             obs.counter("service.deduped_requests", deduped)
         led = obs.get_ledger()
         if led.enabled:
+            # Per-group request attribution: each key maps to the ids of
+            # every request that rode this flush, leader first — the ledger
+            # record that lets a dedupe victim find whose compute served it.
+            flush_groups = {
+                key: [j.request_id for j in jobs if j.request_id is not None]
+                for key, jobs in groups.items()
+            }
             led.emit(
                 obs.EV_BATCH_FLUSHED, size=len(batch), unique=len(leaders),
                 deduped=deduped, failures=failures,
+                groups={k: v for k, v in flush_groups.items() if v},
             )
 
 

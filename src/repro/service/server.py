@@ -23,7 +23,9 @@ the standard library, JSON in / JSON out, five endpoints:
                           :func:`repro.plan_broadcast_many`; body mirrors
                           :meth:`PlanningService.plan_many`'s keywords
 ``GET /healthz``          liveness + queue depth
-``GET /metrics``          cache, batcher, and request counters in one doc
+``GET /metrics``          cache, batcher, request counters, and latency
+                          histograms — JSON by default, Prometheus text
+                          via ``Accept: text/plain``
 ``GET /cache/stats``      the plan cache's counters alone
 ========================  ====================================================
 
@@ -54,7 +56,13 @@ from ..api import (
     plan_cache_key,
 )
 from ..errors import InfeasibleError, ReproError, ServiceOverloaded
+from ..obs.histogram import MetricsRegistry
 from ..obs.metrics import percentile
+from ..obs.promtext import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    wants_prometheus,
+)
 from ..schedule.io import plan_to_doc, planset_to_doc
 from ..traces.model import ContactTrace
 from ..tveg.builders import tveg_from_trace
@@ -232,7 +240,10 @@ def execute_request(
         if retry_after is not None:
             doc["retry_after"] = retry_after
         return status, doc
-    return 200, response.as_doc()
+    t0 = time.perf_counter()
+    doc = response.as_doc()
+    service.telemetry.observe("stage.serialize", time.perf_counter() - t0)
+    return 200, doc
 
 
 def read_warm_file(path: str) -> List[Dict[str, Any]]:
@@ -351,9 +362,13 @@ class PlanningService:
             )
         self._traces: Dict[str, ContactTrace] = dict(traces or {})
         self._cache = cache if cache is not None else PlanCache()
+        # Streaming request telemetry: per-stage and per-endpoint latency
+        # histograms plus outcome counters, mergeable across shard
+        # processes and rendered by both /metrics representations.
+        self.telemetry = MetricsRegistry()
         self._batcher = batcher if batcher is not None else Batcher(
             workers=workers, max_batch=max_batch, max_wait=max_wait,
-            max_queue=max_queue,
+            max_queue=max_queue, metrics=self.telemetry,
         )
         self._timeout = float(timeout)
         self._tvegs: "OrderedDict[Tuple, TVEG]" = OrderedDict()
@@ -499,9 +514,11 @@ class PlanningService:
         except BaseException:
             with self._lock:
                 self._errors += 1
+            self.telemetry.inc("service.plan_errors")
             raise
         wall = time.perf_counter() - t0
         self._latency.record("plan", wall)
+        self.telemetry.observe("request.plan", wall)
         return PlanResponse(plan=plan, key=key, cached=cached,
                             wall_seconds=wall)
 
@@ -581,9 +598,11 @@ class PlanningService:
         except BaseException:
             with self._lock:
                 self._errors += 1
+            self.telemetry.inc("service.plan_many_errors")
             raise
         wall = time.perf_counter() - t0
         self._latency.record("plan_many", wall)
+        self.telemetry.observe("request.plan_many", wall)
         return PlanSetResponse(
             planset=BroadcastPlanSet(plans=tuple(plans)),
             keys=tuple(keys),
@@ -631,6 +650,7 @@ class PlanningService:
             "cache": self._cache.stats(),
             "batcher": self._batcher.stats(),
             "latency": self._latency.as_dict(),
+            "telemetry": self.telemetry.as_doc(),
         }
 
     def healthz(self) -> Dict[str, Any]:
@@ -694,42 +714,74 @@ class _Handler(BaseHTTPRequestHandler):
         doc.update(extra)
         self._send_json(status, doc, headers)
 
+    def _send_text(
+        self,
+        status: int,
+        body: str,
+        content_type: str,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        raw = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(raw)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(raw)
+
     # -- endpoints -----------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         service: PlanningService = self.server.service
-        if self.path == "/healthz":
+        path = self.path.partition("?")[0]
+        if path == "/healthz":
             self._send_json(200, service.healthz())
-        elif self.path == "/metrics":
-            self._send_json(200, service.metrics())
-        elif self.path == "/cache/stats":
+        elif path == "/metrics":
+            # Content negotiation: the JSON document stays the default
+            # (and stays byte-identical for existing clients); a scraper
+            # sending Accept: text/plain gets Prometheus exposition text.
+            doc = service.metrics()
+            if wants_prometheus(self.headers.get("Accept")):
+                self._send_text(
+                    200, render_prometheus(doc), PROMETHEUS_CONTENT_TYPE
+                )
+            else:
+                self._send_json(200, doc)
+        elif path == "/cache/stats":
             self._send_json(200, service.cache.stats())
         else:
             self._send_error(404, f"no such endpoint: {self.path}")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         service: PlanningService = self.server.service
-        try:
-            length = int(self.headers.get("Content-Length") or 0)
-            raw = self.rfile.read(length) if length else b"{}"
-            body = json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
-            self._send_error(400, f"bad request body: {exc}")
-            return
-        try:
-            method, kwargs = parse_plan_request(self.path, body)
-        except KeyError as exc:
-            self._send_error(404, str(exc.args[0] if exc.args else exc))
-            return
-        except ValueError as exc:
-            self._send_error(400, str(exc))
-            return
-        try:
-            response = getattr(service, method)(**kwargs)
-        except Exception as exc:
-            status, message, retry_after = exception_status(exc)
-            self._send_error(status, message, retry_after=retry_after)
-        else:
-            self._send_json(200, response.as_doc())
+        # Trace context is minted at the edge; an upstream-supplied
+        # X-Request-Id wins so proxies keep their correlation ids.
+        rid = self.headers.get("X-Request-Id") or obs.new_request_id()
+        with obs.request_context(rid):
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                raw = self.rfile.read(length) if length else b"{}"
+                body = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                self._send_error(400, f"bad request body: {exc}")
+                return
+            try:
+                method, kwargs = parse_plan_request(self.path, body)
+            except KeyError as exc:
+                self._send_error(404, str(exc.args[0] if exc.args else exc))
+                return
+            except ValueError as exc:
+                self._send_error(400, str(exc))
+                return
+            try:
+                response = getattr(service, method)(**kwargs)
+            except Exception as exc:
+                status, message, retry_after = exception_status(exc)
+                self._send_error(status, message, retry_after=retry_after)
+            else:
+                self._send_json(
+                    200, response.as_doc(), {"X-Request-Id": rid}
+                )
 
 
 def make_server(

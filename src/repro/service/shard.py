@@ -48,6 +48,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .. import obs
 from ..errors import ServiceOverloaded
+from ..obs.histogram import MetricsRegistry
 from ..parallel import mp_context
 from ..traces.model import ContactTrace
 from .cache import PlanCache
@@ -72,6 +73,7 @@ def _shard_main(
     cache_kwargs: Dict[str, Any],
     service_kwargs: Dict[str, Any],
     request_threads: int,
+    ledger: bool = False,
 ) -> None:
     """Worker-process entry point: serve one pipe until told to stop.
 
@@ -79,9 +81,19 @@ def _shard_main(
     "shutdown"}`` message (or the pipe closing) ends the loop; SIGINT and
     SIGTERM are ignored here because the parent owns lifecycle decisions
     and a forked child shares the terminal's signal delivery.
+
+    ``ledger=True`` (set when the parent's ledger is recording) installs a
+    *fresh* recording ledger in this process — never the fork-inherited
+    copy, whose pre-fork events would duplicate the parent's — and the
+    final drain handshake ships everything it recorded back so the parent
+    ledger ends up with one attributable stream.  Either way the process
+    declares its shard identity, so every worker-side event carries
+    ``shard_id``.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    obs.set_shard_id(shard_id)
+    obs.set_ledger(obs.Ledger() if ledger else None)
     service = PlanningService(
         traces, cache=PlanCache(**cache_kwargs), **service_kwargs
     )
@@ -91,12 +103,24 @@ def _shard_main(
     )
     send_lock = threading.Lock()
 
+    def _execute_plan(
+        msg: Dict[str, Any], method: str, kwargs: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        # The pipe message carries the edge-minted request id; re-enter its
+        # scope on this worker thread so the plan's cache/batch/ledger
+        # events stay attributable across the process boundary.
+        rid = msg.get("request_id")
+        if rid:
+            with obs.request_context(rid):
+                return execute_request(service, method, kwargs)
+        return execute_request(service, method, kwargs)
+
     def answer(msg: Dict[str, Any]) -> None:
         method = msg.get("method")
         kwargs = msg.get("kwargs") or {}
         try:
             if method in ("plan", "plan_many"):
-                status, doc = execute_request(service, method, kwargs)
+                status, doc = _execute_plan(msg, method, kwargs)
             elif method == "metrics":
                 doc = service.metrics()
                 doc["shard"] = shard_id
@@ -135,6 +159,15 @@ def _shard_main(
                 service.close()
                 final = service.metrics()
                 final["shard"] = shard_id
+                led = obs.get_ledger()
+                if led.enabled:
+                    # Ship everything this worker recorded; the parent
+                    # re-emits it so `--ledger-out` yields one NDJSON
+                    # stream attributable by request_id and shard_id.
+                    final["ledger_events"] = [
+                        {"type": ev.type, "t": ev.t, "fields": dict(ev.fields)}
+                        for ev in led.events()
+                    ]
                 with send_lock:
                     try:
                         conn.send(
@@ -210,8 +243,14 @@ class ShardHandle:
     def submit(
         self, method: str, kwargs: Optional[Mapping[str, Any]] = None
     ) -> "Future[Tuple[int, Dict[str, Any]]]":
-        """Send one request; the future resolves to ``(status, doc)``."""
+        """Send one request; the future resolves to ``(status, doc)``.
+
+        The ambient request id (when the caller runs inside a
+        :func:`repro.obs.request_context` scope) rides along in the pipe
+        message, crossing the process boundary with the work.
+        """
         future: "Future[Tuple[int, Dict[str, Any]]]" = Future()
+        request_id = obs.current_request_id()
         with self._lock:
             if self._closed or not self.proc.is_alive():
                 raise ServiceOverloaded(
@@ -228,11 +267,13 @@ class ShardHandle:
             msg_id = self._next_id
             self._pending[msg_id] = future
             self._requests += 1
+            msg: Dict[str, Any] = {
+                "id": msg_id, "method": method, "kwargs": dict(kwargs or {}),
+            }
+            if request_id is not None:
+                msg["request_id"] = request_id
             try:
-                self._conn.send(
-                    {"id": msg_id, "method": method,
-                     "kwargs": dict(kwargs or {})}
-                )
+                self._conn.send(msg)
             except (BrokenPipeError, OSError):
                 del self._pending[msg_id]
                 raise ServiceOverloaded(
@@ -357,13 +398,19 @@ class ShardPool:
         ctx = mp_context(start_method)
         cache_kwargs = dict(cache_kwargs or {})
         service_kwargs = dict(service_kwargs or {})
+        # Final metrics docs from drained shards: merged into the pool
+        # aggregate so /metrics counters stay cumulative across restarts
+        # instead of silently resetting when a worker leaves.
+        self._retired: List[Dict[str, Any]] = []
+        self._retired_lock = threading.Lock()
+        ledger_enabled = obs.get_ledger().enabled
         handles: List[ShardHandle] = []
         for shard_id in range(shards):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             proc = ctx.Process(
                 target=_shard_main,
                 args=(shard_id, child_conn, self._traces, cache_kwargs,
-                      service_kwargs, request_threads),
+                      service_kwargs, request_threads, ledger_enabled),
                 name=f"repro-shard-{shard_id}",
                 daemon=True,
             )
@@ -379,7 +426,7 @@ class ShardPool:
         led = obs.get_ledger()
         if led.enabled:
             for handle in handles:
-                led.emit(obs.EV_SHARD_STARTED, shard=handle.shard_id,
+                led.emit(obs.EV_SHARD_STARTED, shard_id=handle.shard_id,
                          pid=handle.proc.pid)
 
     # -- routing -------------------------------------------------------
@@ -483,12 +530,28 @@ class ShardPool:
                 batcher = doc.get("batcher") or {}
                 entry["queue_depth"] = batcher.get("queue_depth")
             shards.append(entry)
+        with self._retired_lock:
+            retired = list(self._retired)
+        # Cumulative pool view: live shard docs plus everything drained
+        # shards reported in their final handshake, so counters and
+        # histograms survive worker exits instead of dropping to zero.
+        contributing = [d for d in shard_docs if d] + retired
+        telemetry = MetricsRegistry.merge_docs(
+            [d.get("telemetry") or {} for d in contributing]
+        )
+        totals = {
+            "requests": sum(int(d.get("requests", 0)) for d in contributing),
+            "errors": sum(int(d.get("errors", 0)) for d in contributing),
+            "retired_shards": len(retired),
+        }
         return {
             "mode": "sharded",
             "uptime_seconds": time.time() - self._started,
             "shards": shards,
             "requests": sum(h.requests for h in self.handles),
             "traces": self.trace_names(),
+            "telemetry": telemetry,
+            "totals": totals,
         }
 
     def healthz(self) -> Dict[str, Any]:
@@ -545,13 +608,34 @@ class ShardPool:
 
     # -- lifecycle -----------------------------------------------------
     def drain(self, timeout: float = 30.0) -> List[Optional[Dict[str, Any]]]:
-        """Gracefully stop every shard; returns their final metrics docs."""
+        """Gracefully stop every shard; returns their final metrics docs.
+
+        Each worker's final handshake is folded into the pool's retained
+        aggregate (counters and telemetry stay cumulative in
+        :meth:`metrics`), and any ledger events the worker recorded are
+        re-emitted into the parent ledger — already tagged with their
+        ``shard_id`` and originating ``request_id`` — so one
+        ``--ledger-out`` file tells the whole pool's story.
+        """
         finals = [h.drain(timeout=timeout) for h in self.handles]
         led = obs.get_ledger()
+        for handle, final in zip(self.handles, finals):
+            if final is None:
+                continue
+            shipped = final.pop("ledger_events", None) or []
+            if led.enabled:
+                for ev in shipped:
+                    led.emit(
+                        str(ev.get("type", "unknown")),
+                        t=ev.get("t"),
+                        **dict(ev.get("fields") or {}),
+                    )
+            with self._retired_lock:
+                self._retired.append(final)
         if led.enabled:
             for handle, final in zip(self.handles, finals):
                 led.emit(
-                    obs.EV_SHARD_EXITED, shard=handle.shard_id,
+                    obs.EV_SHARD_EXITED, shard_id=handle.shard_id,
                     pid=handle.proc.pid,
                     requests=(final or {}).get("requests"),
                     clean=final is not None,

@@ -1,0 +1,243 @@
+"""``repro top``: a live per-shard view of a running planning service.
+
+Polls ``GET /metrics`` (the JSON representation) on an interval and
+renders a terminal table: one row per shard — queries per second
+(computed from request-counter deltas between consecutive polls),
+p50/p95/p99 request latency (estimated from the shard's streaming
+:class:`~repro.obs.histogram.FixedHistogram` buckets), in-flight window,
+batcher queue depth, and plan-cache hit ratio — plus a front-end summary
+line with the edge-cache ratio.  Works against both deployment shapes:
+a ``mode: "sharded"`` pool doc yields one row per worker, a local doc
+yields a single ``local`` row.
+
+Everything below the HTTP fetch is pure functions over metrics
+documents (``build_rows`` / ``render_top``), so the rendering is unit
+testable without a server; :func:`top_loop` adds the polling, screen
+clearing, and Ctrl-C handling the CLI subcommand wires up.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, TextIO
+
+from ..obs.histogram import FixedHistogram
+
+__all__ = ["ShardRow", "build_rows", "fetch_metrics", "render_top", "top_loop"]
+
+#: ANSI "clear screen + home" — what keeps the table in place per frame
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_metrics(url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """GET ``{url}/metrics`` and parse the JSON document."""
+    req = urllib.request.Request(
+        url.rstrip("/") + "/metrics", headers={"Accept": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+@dataclass
+class ShardRow:
+    """One rendered table row (a shard, or the whole local service)."""
+
+    shard: str
+    alive: bool
+    qps: Optional[float]
+    p50_ms: Optional[float]
+    p95_ms: Optional[float]
+    p99_ms: Optional[float]
+    inflight: Optional[int]
+    queue_depth: Optional[int]
+    cache_ratio: Optional[float]
+    requests: int
+
+
+def _request_histogram(service_doc: Mapping[str, Any]) -> Optional[FixedHistogram]:
+    """The shard's merged ``request.*`` histogram (plan + plan_many)."""
+    hists = (service_doc.get("telemetry") or {}).get("histograms") or {}
+    merged: Optional[FixedHistogram] = None
+    for name, hdoc in hists.items():
+        if not name.startswith("request."):
+            continue
+        h = FixedHistogram.from_dict(hdoc)
+        merged = h if merged is None else merged.merge(h)
+    return merged
+
+
+def _quantiles_ms(service_doc: Mapping[str, Any]):
+    h = _request_histogram(service_doc)
+    if h is None or not h.count:
+        return None, None, None
+    return tuple(
+        (h.quantile(q) or 0.0) * 1e3 for q in (0.50, 0.95, 0.99)
+    )
+
+
+def _service_row(
+    label: str,
+    alive: bool,
+    service_doc: Mapping[str, Any],
+    prev_doc: Optional[Mapping[str, Any]],
+    dt: Optional[float],
+    inflight: Optional[int],
+) -> ShardRow:
+    requests = int(service_doc.get("requests", 0))
+    qps: Optional[float] = None
+    if prev_doc is not None and dt and dt > 0:
+        qps = max(0.0, (requests - int(prev_doc.get("requests", 0))) / dt)
+    p50, p95, p99 = _quantiles_ms(service_doc)
+    cache = service_doc.get("cache") or {}
+    batcher = service_doc.get("batcher") or {}
+    return ShardRow(
+        shard=label,
+        alive=alive,
+        qps=qps,
+        p50_ms=p50,
+        p95_ms=p95,
+        p99_ms=p99,
+        inflight=inflight,
+        queue_depth=batcher.get("queue_depth"),
+        cache_ratio=cache.get("hit_rate"),
+        requests=requests,
+    )
+
+
+def build_rows(
+    doc: Mapping[str, Any],
+    prev: Optional[Mapping[str, Any]] = None,
+    dt: Optional[float] = None,
+) -> List[ShardRow]:
+    """Table rows for one metrics document (optionally with the previous
+    poll for qps deltas)."""
+    if doc.get("mode") == "sharded":
+        prev_by_shard: Dict[Any, Mapping[str, Any]] = {}
+        if prev is not None:
+            for entry in prev.get("shards") or []:
+                if entry.get("service"):
+                    prev_by_shard[entry.get("shard")] = entry["service"]
+        rows = []
+        for entry in doc.get("shards") or []:
+            service_doc = entry.get("service") or {}
+            rows.append(
+                _service_row(
+                    str(entry.get("shard", "?")),
+                    bool(entry.get("alive")),
+                    service_doc,
+                    prev_by_shard.get(entry.get("shard")),
+                    dt,
+                    entry.get("inflight"),
+                )
+            )
+        return rows
+    return [
+        _service_row(
+            "local", True, doc,
+            prev if prev is not None and prev.get("mode") != "sharded" else None,
+            dt, doc.get("inflight"),
+        )
+    ]
+
+
+def _fmt(value: Optional[float], spec: str = "8.1f", width: int = 8) -> str:
+    if value is None:
+        return "-".rjust(width)
+    return format(value, spec)
+
+
+def render_top(
+    doc: Mapping[str, Any],
+    prev: Optional[Mapping[str, Any]] = None,
+    dt: Optional[float] = None,
+) -> str:
+    """One full frame of the ``repro top`` display (no ANSI codes)."""
+    rows = build_rows(doc, prev, dt)
+    uptime = float(doc.get("uptime_seconds", 0.0))
+    lines = [
+        f"repro top — uptime {uptime:8.1f}s — "
+        f"{len(rows)} shard(s), {sum(r.requests for r in rows)} request(s)"
+    ]
+    frontend = doc.get("frontend")
+    if isinstance(frontend, Mapping):
+        edge = frontend.get("edge_cache") or {}
+        hits = int(edge.get("hits", 0))
+        misses = int(edge.get("misses", 0))
+        ratio = hits / (hits + misses) if hits + misses else 0.0
+        lines.append(
+            f"frontend: served={int(frontend.get('served', 0))} "
+            f"errors={int(frontend.get('errors', 0))} "
+            f"active={int(frontend.get('active_requests', 0))} "
+            f"edge_cache_ratio={ratio:.2f}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'SHARD':>6} {'ALIVE':>5} {'QPS':>8} {'P50MS':>8} {'P95MS':>8} "
+        f"{'P99MS':>8} {'INFL':>5} {'QDEPTH':>6} {'CACHE%':>7} {'REQS':>8}"
+    )
+    for r in rows:
+        cache_pct = None if r.cache_ratio is None else 100.0 * r.cache_ratio
+        lines.append(
+            f"{r.shard:>6} {('yes' if r.alive else 'NO'):>5} "
+            f"{_fmt(r.qps)} {_fmt(r.p50_ms, '8.2f')} {_fmt(r.p95_ms, '8.2f')} "
+            f"{_fmt(r.p99_ms, '8.2f')} "
+            f"{_fmt(float(r.inflight) if r.inflight is not None else None, '5.0f', 5)} "
+            f"{_fmt(float(r.queue_depth) if r.queue_depth is not None else None, '6.0f', 6)} "
+            f"{_fmt(cache_pct, '7.1f', 7)} {r.requests:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def top_loop(
+    url: str,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    stream: Optional[TextIO] = None,
+    clear: bool = True,
+    fetch=fetch_metrics,
+) -> int:
+    """Poll ``url`` and render frames until interrupted.
+
+    ``iterations`` bounds the number of frames (``None`` = run until
+    Ctrl-C); ``fetch`` is injectable for tests.  Returns a process exit
+    code: 0 on a clean stop, 1 when the very first poll fails (the
+    server is unreachable — later failures render as an error frame and
+    keep polling, since a service mid-restart is exactly when you want
+    ``top`` to keep watching).
+    """
+    out = stream if stream is not None else sys.stdout
+    prev: Optional[Dict[str, Any]] = None
+    prev_at: Optional[float] = None
+    frames = 0
+    while iterations is None or frames < iterations:
+        try:
+            doc = fetch(url)
+        except Exception as exc:
+            if frames == 0:
+                print(f"repro top: cannot reach {url}: {exc}", file=out)
+                return 1
+            frame = f"repro top: poll failed: {exc} (retrying)"
+        else:
+            now = time.monotonic()
+            dt = now - prev_at if prev_at is not None else None
+            frame = render_top(doc, prev, dt)
+            prev, prev_at = doc, now
+        if clear:
+            out.write(_CLEAR)
+        print(frame, file=out)
+        try:
+            out.flush()
+        except Exception:
+            pass
+        frames += 1
+        if iterations is not None and frames >= iterations:
+            break
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            break
+    return 0

@@ -191,6 +191,16 @@ def _get(url: str, path: str, timeout: float = 30.0):
         return json.loads(resp.read())
 
 
+def scrape_prometheus(url: str, timeout: float = 30.0) -> Tuple[str, str]:
+    """GET /metrics negotiated to the Prometheus text representation."""
+    req = urllib.request.Request(
+        url + "/metrics", headers={"Accept": "text/plain"}
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return (resp.read().decode("utf-8"),
+                resp.headers.get("Content-Type", ""))
+
+
 class BootedServer:
     """A ``repro serve`` subprocess bound to an ephemeral port."""
 
@@ -384,6 +394,80 @@ def run_load(
     }
 
 
+def check_slos(report: Dict[str, Any], args,
+               failures: List[str], name: str = "") -> None:
+    """Append SLO violations (``--slo-p99-ms`` / ``--slo-error-rate``)."""
+    prefix = f"{name}: " if name else ""
+    if args.slo_p99_ms is not None:
+        p99 = report.get("latency", {}).get("p99_ms")
+        if p99 is None:
+            failures.append(f"{prefix}no ok requests to measure p99 against "
+                            f"--slo-p99-ms")
+        elif p99 > args.slo_p99_ms:
+            failures.append(f"{prefix}p99 {p99:.1f} ms > SLO "
+                            f"{args.slo_p99_ms:g} ms")
+    if args.slo_error_rate is not None and report.get("requests"):
+        rate = report.get("errors", 0) / report["requests"]
+        if rate > args.slo_error_rate:
+            failures.append(
+                f"{prefix}error rate {rate:.4f} "
+                f"({report['errors']}/{report['requests']}) > SLO "
+                f"{args.slo_error_rate:g}"
+            )
+
+
+def check_prometheus(url: str, report: Dict[str, Any], args,
+                     failures: List[str],
+                     expect_edge: bool) -> Optional[Dict[str, Any]]:
+    """Scrape /metrics in Prometheus format once and validate it parses.
+
+    When ``expect_edge`` (a server this run booted and exclusively drove,
+    with the async front-end), also checks that the front-end's
+    ``request.edge`` histogram counted every request the load run issued
+    — the end-to-end proof that per-request telemetry survived shard
+    routing and merge.
+    """
+    from repro.obs.promtext import parse_prometheus_text
+
+    try:
+        text, ctype = scrape_prometheus(url, args.request_timeout)
+    except Exception as exc:
+        failures.append(f"prometheus scrape failed: {exc}")
+        return None
+    try:
+        samples, types = parse_prometheus_text(text)
+    except ValueError as exc:
+        failures.append(f"prometheus text did not parse: {exc}")
+        return None
+    doc: Dict[str, Any] = {
+        "content_type": ctype,
+        "families": len(types),
+        "samples": len(samples),
+    }
+    if not samples:
+        failures.append("prometheus scrape yielded no samples")
+    if expect_edge:
+        key = ("repro_request_seconds_count",
+               (("component", "frontend"), ("endpoint", "edge")))
+        edge_count = samples.get(key)
+        doc["edge_requests"] = edge_count
+        if edge_count is None:
+            failures.append(
+                "prometheus scrape is missing the front-end request.edge "
+                "histogram"
+            )
+        elif report.get("errors") == 0 and int(edge_count) != report["requests"]:
+            failures.append(
+                f"front-end edge histogram counted {int(edge_count)} "
+                f"requests, load run issued {report['requests']}"
+            )
+    print(f"# prometheus scrape: {doc['samples']} samples over "
+          f"{doc['families']} families"
+          + (f", edge count {doc.get('edge_requests')}" if expect_edge
+             else ""))
+    return doc
+
+
 # ----------------------------------------------------------------------
 # entry
 # ----------------------------------------------------------------------
@@ -437,6 +521,11 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--assert-cache-hits", action="store_true",
                    help="fail unless at least one response was cache-served")
     p.add_argument("--assert-min-rps", type=float, default=None)
+    p.add_argument("--slo-p99-ms", type=float, default=None,
+                   help="fail when ok-request p99 latency exceeds this bound")
+    p.add_argument("--slo-error-rate", type=float, default=None,
+                   help="fail when errors/requests exceeds this fraction "
+                   "(0 means zero tolerance)")
     p.add_argument("--min-speedup", type=float, default=None,
                    help="with --compare: fail when sharded/single throughput "
                    "falls below this ratio")
@@ -512,6 +601,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                     f"(statuses {rep['error_statuses']})")
                 if args.assert_cache_hits and rep["cache_hits"] == 0:
                     failures.append(f"{name}: no cache hits")
+                check_slos(rep, args, failures, name)
         else:
             server = None
             url = args.url
@@ -524,6 +614,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             identity = IdentityTracker()
             try:
                 report = run_load(url, workload, args, identity)
+                prom = check_prometheus(
+                    url, report, args, failures,
+                    expect_edge=server is not None and not args.legacy_http,
+                )
+                if prom is not None:
+                    report["prometheus"] = prom
             finally:
                 if server is not None:
                     server.stop()
@@ -553,6 +649,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"throughput {report['throughput_rps']:.1f} rps < "
                     f"required {args.assert_min_rps}"
                 )
+            check_slos(report, args, failures)
     finally:
         if warm_file:
             try:
