@@ -207,7 +207,12 @@ class EEDCB(Scheduler):
                 schedule = extract_schedule(aux, edges)
             raw_cost = schedule.total_cost
             if self._reduce:
-                kw = {"targets": self._targets}
+                # Pin the replay kernel to the scheduler's resolved mode so
+                # a compute="python" run stays numpy-free end to end.
+                kw = {
+                    "targets": self._targets,
+                    "compute": "numpy" if self._mode == "numpy" else "python",
+                }
                 with obs.stage(stage_seconds, "reduce", "eedcb.reduce"):
                     schedule = remove_redundant(
                         tveg, schedule, source, deadline, **kw

@@ -51,6 +51,7 @@ from .schedule.feasibility import FeasibilityReport, check_feasibility
 from .schedule.schedule import Schedule
 from .temporal.reachability import broadcast_feasible_sources
 from .traces.model import ContactTrace
+from .traces.store import ContactStore
 from .tveg.builders import tveg_from_trace
 from .tveg.graph import TVEG
 
@@ -168,7 +169,7 @@ def _window_bounds(window: Window, deadline: float) -> Tuple[float, float]:
 
 
 def plan_config(
-    trace_or_tveg: Union[ContactTrace, TVEG],
+    trace_or_tveg: Union[ContactTrace, ContactStore, TVEG],
     source: Optional[Node],
     deadline: float,
     *,
@@ -211,7 +212,7 @@ def plan_config(
         fingerprint = trace_or_tveg.fingerprint()
         channel_label = type(trace_or_tveg.channel).__name__
         eff_params = trace_or_tveg.params
-    elif isinstance(trace_or_tveg, ContactTrace):
+    elif isinstance(trace_or_tveg, (ContactTrace, ContactStore)):
         fingerprint = trace_or_tveg.fingerprint()
         channel_label = (
             channel if isinstance(channel, str) else type(channel).__name__
@@ -219,7 +220,8 @@ def plan_config(
         eff_params = params
     else:
         raise TypeError(
-            f"expected a ContactTrace or TVEG, got {type(trace_or_tveg).__name__}"
+            f"expected a ContactTrace, ContactStore, or TVEG, "
+            f"got {type(trace_or_tveg).__name__}"
         )
     kwargs = dict(scheduler_kwargs)
     if "rand" in algo and "seed" not in kwargs:
@@ -238,7 +240,7 @@ def plan_config(
 
 
 def plan_cache_key(
-    trace_or_tveg: Union[ContactTrace, TVEG],
+    trace_or_tveg: Union[ContactTrace, ContactStore, TVEG],
     source: Optional[Node],
     deadline: float,
     **kwargs,
@@ -340,7 +342,7 @@ def _plan_on_tveg(
 
 
 def plan_broadcast(
-    trace_or_tveg: Union[ContactTrace, TVEG],
+    trace_or_tveg: Union[ContactTrace, ContactStore, TVEG],
     source: Optional[Node],
     deadline: float,
     *,
@@ -358,8 +360,10 @@ def plan_broadcast(
     Parameters
     ----------
     trace_or_tveg:
-        A :class:`~repro.traces.model.ContactTrace` (the usual case — the
-        TVEG is built internally) or an already-constructed
+        A :class:`~repro.traces.model.ContactTrace` or columnar
+        :class:`~repro.traces.store.ContactStore` (the usual cases — the
+        TVEG is built internally; both backends yield byte-identical
+        plans) or an already-constructed
         :class:`~repro.tveg.graph.TVEG` (then ``channel``, ``window``,
         ``seed``, and ``params`` do not apply; passing ``window`` raises).
     source:
@@ -437,7 +441,7 @@ def plan_broadcast(
 
 
 def plan_broadcast_many(
-    trace_or_tveg: Union[ContactTrace, TVEG],
+    trace_or_tveg: Union[ContactTrace, ContactStore, TVEG],
     sources: Sequence[Optional[Node]],
     deadlines: Union[float, Sequence[float]],
     *,

@@ -4,7 +4,9 @@ Subcommands cover the full pipeline so the library is usable without
 writing Python:
 
 * ``generate``   — synthesize a Haggle-like contact trace to a file;
-* ``stats``      — summarize a trace (CRAWDAD or CSV);
+* ``stats``      — summarize a trace (CRAWDAD, CSV, or ``.ctrace``);
+* ``trace``      — convert a text trace to the columnar ``.ctrace`` format
+  (streaming, bounded memory) and print its header stats;
 * ``schedule``   — run a scheduler on a trace window and print the schedule;
 * ``simulate``   — Monte-Carlo a schedule produced by a scheduler;
 * ``experiment`` — regenerate one of the paper's figures (4–7);
@@ -119,11 +121,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("stats", parents=[common],
                        help="summarize a contact trace")
-    s.add_argument("trace", help="trace file (CRAWDAD or CSV)")
+    s.add_argument("trace", help="trace file (CRAWDAD, CSV, or .ctrace)")
+
+    tr = sub.add_parser(
+        "trace", parents=[common],
+        help="convert a trace to the columnar .ctrace format and/or "
+        "print its header stats",
+    )
+    tr.add_argument("input",
+                    help="input trace (CRAWDAD, CSV, or .ctrace)")
+    tr.add_argument("-o", "--output", default=None, metavar="FILE",
+                    help="write the columnar .ctrace file here (text "
+                    "inputs stream straight into the columns; omit to "
+                    "only print stats)")
+    tr.add_argument("--horizon", type=float, default=None,
+                    help="override the trace horizon (default: last "
+                    "contact end)")
+    tr.add_argument("--node-type", choices=("int", "str"), default="int",
+                    help="node-label type for text inputs (default int)")
 
     c = sub.add_parser("schedule", parents=[common],
                        help="schedule one broadcast on a trace window")
-    c.add_argument("trace", help="trace file (CRAWDAD or CSV)")
+    c.add_argument("trace", help="trace file (CRAWDAD, CSV, or .ctrace)")
     c.add_argument("--algorithm", type=_algorithm_arg, default="eedcb",
                    metavar="ALGO",
                    help="one of %s (aliases like FR_EEDCB accepted)"
@@ -233,8 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
         "GET /healthz, GET /metrics, GET /cache/stats)",
     )
     v.add_argument("traces", nargs="*", metavar="TRACE",
-                   help="trace files to host (CRAWDAD or CSV), addressable "
-                   "by file stem in requests")
+                   help="trace files to host (CRAWDAD, CSV, or .ctrace — "
+                   "the columnar format loads with an O(1) cache-key "
+                   "fingerprint), addressable by file stem in requests")
     v.add_argument("--synthetic", type=int, default=None, metavar="N",
                    help="also host an N-node synthetic Haggle-like trace "
                    "named 'synthetic' (default when no trace files given: "
@@ -355,6 +375,27 @@ def _cmd_generate(args) -> int:
 
 def _cmd_stats(args) -> int:
     print(summarize(load_trace(args.trace)))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .traces import CTRACE_SUFFIX, ingest_path
+
+    node_type = {"int": int, "str": str}[args.node_type]
+    store = ingest_path(args.input, node_type=node_type,
+                        horizon=args.horizon)
+    if args.output:
+        out = args.output
+        if not out.endswith(CTRACE_SUFFIX):
+            out += CTRACE_SUFFIX
+        store.save(out)
+        print(f"# wrote {out}")
+    lo, hi = store.time_span()
+    print(f"nodes:        {store.num_nodes}")
+    print(f"contacts:     {store.num_contacts}")
+    print(f"horizon:      {store.horizon:g}")
+    print(f"time span:    [{lo:g}, {hi:g}]")
+    print(f"fingerprint:  {store.fingerprint()}")
     return 0
 
 
@@ -686,6 +727,7 @@ def _cmd_cache(args) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
     "schedule": _cmd_schedule,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,

@@ -3,16 +3,21 @@
 ``run_bench`` times the pipeline's core operations (DTS construction,
 auxiliary-graph build, Steiner solve, full EEDCB / FR-EEDCB runs,
 Monte-Carlo simulation, temporal Dijkstra, feasibility checking, plan-cache
-hits, and batched service planning) on a
+hits, batched service planning, and columnar trace ingest) on a
 deterministic synthetic instance and reports p50/p95 wall times together
 with the *work counters* each operation produced (Steiner expansions, NLP
 iterations, Dijkstra settles).  Counters are machine-independent, so they
 gate algorithmic regressions exactly; wall times gate performance with a
-configurable tolerance.
+configurable tolerance.  The scale ops additionally record **peak
+memory** as a ``peak_mb`` counter — tracemalloc heap peak for
+``trace_ingest``, child-process peak RSS for the full-mode ``plan_n1000``
+— gated with the same tolerance as times, so a memory blow-up fails the
+gate exactly like a slowdown.
 
 ``compare`` checks a fresh result against a committed baseline
 (:file:`benchmarks/baseline.json`) and reports every tier-1 operation whose
-p50 time or work counter grew by more than the tolerance (default 25 %).
+p50 time, work counter, or peak memory grew by more than the tolerance
+(default 25 %).
 ``repro bench`` wires this to the command line and exits nonzero on any
 regression; CI runs it with a wider time tolerance to absorb machine
 variance (counters stay exact).
@@ -65,10 +70,18 @@ TIER1_OPS = (
     "service_throughput",
     "service_p99_hit",
     "telemetry_overhead",
+    "trace_ingest",
+    "plan_n1000",
 )
 
 #: counters that are deterministic work measures (gated exactly like times)
 _GATED_COUNTERS = ("steiner_expansions", "journeys_expanded")
+
+#: counters that record peak memory in MB — gated like times, with an
+#: absolute slack absorbing allocator noise (memory needs no calibration:
+#: a megabyte is a megabyte on every machine)
+_GATED_MEMORY = ("peak_mb",)
+_MEMORY_SLACK_MB = 8.0
 
 
 def _calibrate(repeats: int = 5) -> float:
@@ -339,6 +352,142 @@ def _ops(
     ]
 
 
+#: the N=1000 scale instance every scale op and the CI smoke agree on
+SCALE_NODES = 1000
+SCALE_CONTACTS = 1_000_000
+SCALE_HORIZON = 200_000.0
+SCALE_SEED = 42
+SCALE_WINDOW = (0.0, 2000.0)
+SCALE_DEADLINE = 1500.0
+
+#: the subprocess body of the ``plan_n1000`` op: generate the scale
+#: instance, plan one source end-to-end, report peak RSS (the OS
+#: high-water mark — measured in a child so other ops cannot inflate it)
+_PLAN_N1000_CODE = """\
+import json, resource, sys
+from repro.api import plan_broadcast
+from repro.traces.synthetic import scale_trace_store
+
+store = scale_trace_store({nodes}, {contacts}, {horizon}, seed={seed})
+plan = plan_broadcast(
+    store, 0, {deadline}, window={window}, algorithm="greed", seed=5
+)
+rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+peak_mb = rss / 1e6 if sys.platform == "darwin" else rss / 1024.0
+print(json.dumps({{
+    "feasible": plan.feasible,
+    "total_cost": repr(plan.total_cost),
+    "fingerprint": store.fingerprint(),
+    "peak_mb": peak_mb,
+}}))
+"""
+
+
+def _scale_ops(
+    quick: bool, repeats: int, compute: Optional[str]
+) -> Tuple[List[Tuple[str, Callable[[], Dict[str, float]], int]],
+           Callable[[], None]]:
+    """The columnar-store scale ops: ``trace_ingest`` and ``plan_n1000``.
+
+    ``trace_ingest`` streams a synthetic one-contact-per-line text trace
+    into a :class:`~repro.traces.store.ContactStore` (parse + incremental
+    fingerprint — the service's cache-key path) and reports the file size
+    so MB/s falls out of the timing; its ``peak_mb`` counter is the
+    tracemalloc heap peak of one untimed ingest pass, so the
+    bounded-memory claim is gated without tracemalloc slowing the timed
+    repeats.  ``plan_n1000`` (full mode only) runs the whole scale story —
+    generate the N=1000 / 10^6-contact instance, window it, plan one
+    source — in a child interpreter and reports the child's peak RSS.
+
+    Returns ``(ops, cleanup)``: ops as ``(name, thunk, repeats)`` and a
+    cleanup thunk removing the temp trace file.
+    """
+    import subprocess
+    import sys
+    import tempfile
+    import tracemalloc
+
+    from ..traces.store import ingest_path
+    from ..traces.synthetic import scale_trace_store
+    from ..traces.writer import write_crawdad
+
+    if quick:
+        gen_nodes, gen_contacts, gen_horizon = 200, 50_000, 20_000.0
+    else:
+        gen_nodes, gen_contacts, gen_horizon = (
+            SCALE_NODES, SCALE_CONTACTS, SCALE_HORIZON
+        )
+    scale = scale_trace_store(
+        gen_nodes, gen_contacts, gen_horizon, seed=SCALE_SEED
+    )
+    fd, text_path = tempfile.mkstemp(suffix=".txt", prefix="bench-trace-")
+    os.close(fd)
+    write_crawdad(scale, text_path)
+    size_mb = os.path.getsize(text_path) / 1e6
+
+    tracemalloc.start()
+    probe = ingest_path(text_path)
+    expected_fp = probe.fingerprint()
+    ingest_peak_mb = tracemalloc.get_traced_memory()[1] / 1e6
+    tracemalloc.stop()
+    del probe
+
+    def cleanup() -> None:
+        try:
+            os.unlink(text_path)
+        except OSError:
+            pass
+
+    def trace_ingest() -> Dict[str, float]:
+        store = ingest_path(text_path)
+        if store.fingerprint() != expected_fp:
+            raise RuntimeError("ingest fingerprint drifted across repeats")
+        return {
+            "contacts": float(store.num_contacts),
+            "mb": size_mb,
+            "peak_mb": ingest_peak_mb,
+        }
+
+    ops = [("trace_ingest", trace_ingest, min(repeats, 3))]
+    if not quick:
+        code = _PLAN_N1000_CODE.format(
+            nodes=SCALE_NODES, contacts=SCALE_CONTACTS,
+            horizon=SCALE_HORIZON, seed=SCALE_SEED,
+            deadline=SCALE_DEADLINE, window=SCALE_WINDOW,
+        )
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        ))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        # Pin the child's auto kernel resolution to the suite's kernel so
+        # a python-mode baseline stays numpy-free end to end.
+        env["REPRO_COMPUTE"] = compute or "python"
+
+        def plan_n1000() -> Dict[str, float]:
+            out = subprocess.run(
+                [sys.executable, "-c", code], capture_output=True,
+                text=True, env=env, timeout=3600,
+            )
+            if out.returncode != 0:
+                raise RuntimeError(
+                    f"plan_n1000 child failed: {out.stderr.strip()[-500:]}"
+                )
+            doc = json.loads(out.stdout.strip().splitlines()[-1])
+            if not doc["feasible"]:
+                raise RuntimeError("plan_n1000 schedule verified infeasible")
+            return {
+                "nodes": float(SCALE_NODES),
+                "contacts": float(SCALE_CONTACTS),
+                "peak_mb": float(doc["peak_mb"]),
+            }
+
+        ops.append(("plan_n1000", plan_n1000, 1))
+    return ops, cleanup
+
+
 def measure_disabled_overhead(
     eedcb_thunk: Callable[[], Any], p50_seconds: float, calls: int = 200_000
 ) -> Dict[str, float]:
@@ -443,6 +592,13 @@ def run_bench(
             eedcb_thunk = thunk
         time_op(name, thunk, r)
 
+    scale_ops, scale_cleanup = _scale_ops(quick, r, compute)
+    try:
+        for name, thunk, rep in scale_ops:
+            time_op(name, thunk, rep)
+    finally:
+        scale_cleanup()
+
     if not quick:
         # The scaling instance: N=50 is where the array kernels earn their
         # keep (the stdlib path spends tens of seconds here), so cap the
@@ -490,7 +646,8 @@ def compare(
 ) -> List[str]:
     """Regression messages for tier-1 ops; empty means the gate passes.
 
-    A tier-1 op regresses when its wall time or any gated work counter
+    A tier-1 op regresses when its wall time, any gated work counter, or
+    its recorded peak memory (the ``peak_mb`` counter of the scale ops)
     exceeds the baseline by more than ``tolerance`` (fractional).  Times
     are compared by their per-suite *minimum* (the robust estimator under
     background load), normalized by each suite's interpreter calibration
@@ -552,6 +709,18 @@ def compare(
                     problems.append(
                         f"{op}: counter {key} {cc:g} vs baseline {bc:g} "
                         f"(+{(cc / bc - 1.0) * 100:.0f}%)"
+                    )
+        for key in _GATED_MEMORY:
+            if key in base_counters and key in cur.get("counters", {}):
+                bm, cm = base_counters[key], cur["counters"][key]
+                # No calibration scaling — a megabyte is machine-independent;
+                # the absolute slack absorbs allocator and layout noise.
+                if (bm > 0 and cm > bm * (1.0 + tolerance)
+                        and cm - bm > _MEMORY_SLACK_MB):
+                    problems.append(
+                        f"{op}: peak memory {cm:.1f} MB vs baseline "
+                        f"{bm:.1f} MB (+{(cm / bm - 1.0) * 100:.0f}%, "
+                        f"tolerance {tolerance * 100:.0f}%)"
                     )
     return problems
 

@@ -338,8 +338,13 @@ class AsyncPlanningServer:
             except OSError:
                 pass
         try:
+            # leftover carries bytes read past the end of one request —
+            # the start of the next when a client pipelines — so
+            # back-to-back requests on a keep-alive connection are
+            # framed exactly and answered in order
+            leftover = b""
             while True:
-                request = await self._read_request(reader)
+                request, leftover = await self._read_request(reader, leftover)
                 if request is None:
                     break
                 keep_alive = await self._respond(request, writer)
@@ -355,23 +360,29 @@ class AsyncPlanningServer:
                 pass
 
     async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-        """One parsed request: ``(verb, path, headers, body)``; ``None``
-        at EOF or on an unparseable head."""
-        head = b""
+        self, reader: asyncio.StreamReader, leftover: bytes = b""
+    ) -> Tuple[Optional[Tuple[str, str, Dict[str, str], bytes]], bytes]:
+        """One parsed request plus any bytes read beyond it.
+
+        Returns ``((verb, path, headers, body), leftover)`` — ``leftover``
+        is the prefix of the *next* pipelined request when the client
+        wrote several back-to-back — or ``(None, b"")`` at EOF or on an
+        unparseable head.  ``leftover`` from the previous call must be
+        fed back in so no bytes are dropped between requests.
+        """
+        head = leftover
         while b"\r\n\r\n" not in head:
             chunk = await reader.read(4096)
             if not chunk:
-                return None
+                return None, b""
             head += chunk
             if len(head) > _MAX_HEAD:
-                return None
+                return None, b""
         head, _, rest = head.partition(b"\r\n\r\n")
         lines = head.decode("latin-1").split("\r\n")
         parts = lines[0].split()
         if len(parts) != 3:
-            return None
+            return None, b""
         verb, path = parts[0], parts[1]
         headers: Dict[str, str] = {}
         for line in lines[1:]:
@@ -381,16 +392,16 @@ class AsyncPlanningServer:
         try:
             length = int(headers.get("content-length") or 0)
         except ValueError:
-            return None
+            return None, b""
         if length > _MAX_BODY:
-            return None
+            return None, b""
         body = rest
         while len(body) < length:
             chunk = await reader.read(length - len(body))
             if not chunk:
-                return None
+                return None, b""
             body += chunk
-        return verb, path, headers, body
+        return (verb, path, headers, body[:length]), body[length:]
 
     def _response_bytes(
         self,

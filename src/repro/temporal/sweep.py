@@ -27,12 +27,33 @@ from typing import Dict, Hashable, List, Tuple
 
 from .. import obs
 
-__all__ = ["NodeSweep", "adjacency_events"]
+__all__ = ["NodeSweep", "adjacency_events", "events_from_components"]
 
 Node = Hashable
 
 #: (time, delta, neighbor, contact_start); delta is +1 (start) or -1 (end)
 Event = Tuple[float, int, Node, float]
+
+
+def events_from_components(components) -> Tuple[Event, ...]:
+    """Event tuples from ``(neighbor, adjacency pairs)`` sequences.
+
+    ``components`` yields one entry per incident edge, **in incident-list
+    order**, each carrying the edge's τ-eroded adjacency components as
+    ``(start, end)`` pairs.  Both event builders — the TVG interval-dict
+    walk below and the :class:`~repro.traces.store.ContactStore` CSR slice
+    reader — funnel through this one assembly so their output is
+    tuple-for-tuple identical.
+    """
+    events: List[Event] = []
+    for other, pairs in components:
+        for s, e in pairs:
+            events.append((s, 1, other, s))
+            events.append((e, -1, other, s))
+    # Interval sets are normalized (disjoint, non-adjacent), so one neighbor
+    # never starts and ends at the same instant; plain time order suffices.
+    events.sort(key=lambda ev: ev[0])
+    return tuple(events)
 
 
 def adjacency_events(tvg, node: Node) -> Tuple[Event, ...]:
@@ -42,15 +63,10 @@ def adjacency_events(tvg, node: Node) -> Tuple[Event, ...]:
     incident edge; ``contact_start`` is the start of the un-eroded presence
     component (erosion preserves starts), the TVEG cost-cache key.
     """
-    events: List[Event] = []
-    for other in tvg.incident(node):
-        for s, e in tvg.adjacency_set(node, other).pairs:
-            events.append((s, 1, other, s))
-            events.append((e, -1, other, s))
-    # Interval sets are normalized (disjoint, non-adjacent), so one neighbor
-    # never starts and ends at the same instant; plain time order suffices.
-    events.sort(key=lambda ev: ev[0])
-    return tuple(events)
+    return events_from_components(
+        (other, tvg.adjacency_set(node, other).pairs)
+        for other in tvg.incident(node)
+    )
 
 
 class NodeSweep:

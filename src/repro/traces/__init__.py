@@ -1,13 +1,27 @@
-"""Contact traces: model, parsing, synthesis, distance enrichment, stats."""
+"""Contact traces: model, parsing, synthesis, distance enrichment, stats.
+
+Two interchangeable trace backends share one API surface: the dict-backed
+:class:`ContactTrace` (the parity oracle) and the columnar
+:class:`~repro.traces.store.ContactStore` (bounded-memory ingestion of
+million-contact traces, ``.ctrace`` on-disk format).
+"""
 
 from .enrich import ContactDistanceProvider, DistanceModel
 from .model import Contact, ContactTrace
 from .parser import load_trace, parse_crawdad, parse_csv
 from .stats import TraceStats, summarize
+from .store import (
+    CTRACE_SUFFIX,
+    ContactStore,
+    ingest_crawdad,
+    ingest_csv,
+    ingest_path,
+)
 from .synthetic import (
     HaggleLikeConfig,
     deterministic_trace,
     haggle_like_trace,
+    scale_trace_store,
     uniform_trace,
 )
 from .writer import write_crawdad, write_csv
@@ -15,6 +29,11 @@ from .writer import write_crawdad, write_csv
 __all__ = [
     "Contact",
     "ContactTrace",
+    "ContactStore",
+    "CTRACE_SUFFIX",
+    "ingest_crawdad",
+    "ingest_csv",
+    "ingest_path",
     "parse_crawdad",
     "parse_csv",
     "load_trace",
@@ -24,6 +43,7 @@ __all__ = [
     "haggle_like_trace",
     "uniform_trace",
     "deterministic_trace",
+    "scale_trace_store",
     "DistanceModel",
     "ContactDistanceProvider",
     "TraceStats",

@@ -76,6 +76,14 @@ class ContactTrace:
         self._horizon = float(horizon)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_store(cls, store) -> "ContactTrace":
+        """Materialize a :class:`~repro.traces.store.ContactStore` as a
+        dict-backed trace (same nodes, horizon, and fingerprint — the
+        columnar rows are already in this class's canonical sort order)."""
+        return cls(store, nodes=store.nodes, horizon=store.horizon)
+
+    # ------------------------------------------------------------------
     @property
     def contacts(self) -> Tuple[Contact, ...]:
         return tuple(self._contacts)

@@ -115,9 +115,20 @@ def load_trace(
     path: PathLike,
     node_type: type = int,
     horizon: Optional[float] = None,
-) -> ContactTrace:
-    """Load a trace, dispatching on file extension (.csv → CSV, else CRAWDAD)."""
+):
+    """Load a trace, dispatching on file extension.
+
+    ``.csv`` parses as headered CSV and anything else as CRAWDAD, both into
+    a dict-backed :class:`ContactTrace`; ``.ctrace`` loads the columnar
+    :class:`~repro.traces.store.ContactStore` (same downstream API, byte-
+    identical planning results, O(1) fingerprint from the file header).
+    """
+    from .store import CTRACE_SUFFIX, ContactStore
+
     p = Path(path)
-    if p.suffix.lower() == ".csv":
+    suffix = p.suffix.lower()
+    if suffix == CTRACE_SUFFIX:
+        return ContactStore.load(p)
+    if suffix == ".csv":
         return parse_csv(p, node_type=node_type, horizon=horizon)
     return parse_crawdad(p, node_type=node_type, horizon=horizon)

@@ -38,6 +38,7 @@ __all__ = [
     "haggle_like_trace",
     "uniform_trace",
     "deterministic_trace",
+    "scale_trace_store",
 ]
 
 
@@ -209,6 +210,48 @@ def uniform_trace(
                 contacts.append(Contact(t, end, u, v))
             t = end + float(rng.exponential(mean_gap))
     return ContactTrace(contacts, nodes=tuple(range(num_nodes)), horizon=horizon)
+
+
+def scale_trace_store(
+    num_nodes: int,
+    num_contacts: int,
+    horizon: float,
+    mean_duration: float = 150.0,
+    seed: SeedLike = None,
+):
+    """A large uniform-random trace, generated straight into a
+    :class:`~repro.traces.store.ContactStore` with no per-contact loop.
+
+    The scale-regime generator: node pairs, start times, and exponential
+    durations are drawn as whole numpy columns and handed to
+    :meth:`ContactStore.from_arrays`, so an N=1000 / 10^6-contact instance
+    builds in seconds where :func:`uniform_trace` would grind through a
+    million ``Contact`` constructions.  Statistically it is the stationary
+    :func:`uniform_trace` regime without the per-pair renewal structure:
+    contact count is exact rather than rate-derived, which is what the
+    scale bench and smoke jobs want to pin down.
+    """
+    from .store import ContactStore
+
+    if num_nodes < 2:
+        raise TraceFormatError("need at least 2 nodes")
+    if num_contacts < 0:
+        raise TraceFormatError("need a non-negative contact count")
+    if horizon <= 0:
+        raise TraceFormatError("horizon must be positive")
+    if mean_duration <= 0:
+        raise TraceFormatError("mean duration must be positive")
+    rng = as_generator(seed)
+    u = rng.integers(0, num_nodes, size=num_contacts)
+    # v uniform over the other nodes: never equal to u by construction.
+    v = (u + 1 + rng.integers(0, num_nodes - 1, size=num_contacts)) % num_nodes
+    starts = rng.uniform(0.0, horizon, size=num_contacts)
+    ends = np.minimum(
+        starts + rng.exponential(mean_duration, size=num_contacts), horizon
+    )
+    return ContactStore.from_arrays(
+        u, v, starts, ends, nodes=tuple(range(num_nodes)), horizon=horizon
+    )
 
 
 def deterministic_trace() -> ContactTrace:

@@ -15,7 +15,6 @@ from ..core.rng import SeedLike
 from ..errors import GraphModelError
 from ..params import PAPER_PARAMS, PhyParams
 from ..traces.enrich import DistanceModel
-from ..traces.model import ContactTrace
 from .graph import TVEG
 
 __all__ = ["tveg_from_trace", "make_channel"]
@@ -45,12 +44,13 @@ def make_channel(
 
 
 def tveg_from_trace(
-    trace: ContactTrace,
+    trace,
     channel: Union[str, ChannelModel] = "static",
     params: PhyParams = PAPER_PARAMS,
     distance_model: Optional[DistanceModel] = None,
     tau: float = 0.0,
     seed: SeedLike = None,
+    dcs_capacity: Optional[int] = None,
 ) -> TVEG:
     """Build a TVEG from a contact trace in one call.
 
@@ -59,8 +59,20 @@ def tveg_from_trace(
     ED-functions.  The same ``seed`` always yields the same distances, so
     static and fading runs over one trace see identical geometry — the
     paper's Figs. 5/6 comparisons rely on this.
+
+    ``trace`` is either trace backend — a dict-backed
+    :class:`~repro.traces.model.ContactTrace` or a columnar
+    :class:`~repro.traces.store.ContactStore`; both expose the
+    ``to_tvg`` / ``pair_presence`` surface this pipeline consumes and
+    produce byte-identical TVEGs (same node order, same presence sets,
+    same synthesized distances).  ``dcs_capacity`` bounds the TVEG's
+    discrete-cost-set memo (see :class:`~repro.tveg.graph.TVEG`); leave
+    ``None`` for the unbounded default.
     """
     tvg = trace.to_tvg(tau=tau)
     dm = distance_model or DistanceModel()
     provider = dm.attach(trace, seed=seed)
-    return TVEG(tvg, make_channel(channel, params), provider)
+    return TVEG(
+        tvg, make_channel(channel, params), provider,
+        dcs_capacity=dcs_capacity,
+    )

@@ -29,6 +29,36 @@ Node = Hashable
 DistanceProvider = Callable[[Node, Node, float], float]
 
 
+class _BoundedDCSMemo(OrderedDict):
+    """A DCS memo with an entry cap: least-recently-hit cost sets evict.
+
+    Serves the exact plain-``dict`` interface :mod:`repro.tveg.costsets`
+    drives (``get`` / item assignment / ``clear``), so it can replace the
+    unbounded memo transparently.  Eviction is parity-safe by construction:
+    the memo is pure memoization, so a dropped entry is simply recomputed —
+    same floats, same ordering — on the next query.  This is what keeps
+    full-trace planning on million-contact stores from pinning one
+    ``DiscreteCostSet`` per (node, time-point) in memory for the whole run.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise GraphModelError("dcs_capacity must be a positive integer")
+        self.capacity = int(capacity)
+
+    def get(self, key, default=None):
+        found = super().get(key, default)
+        if found is not default:
+            self.move_to_end(key)
+        return found
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        if len(self) > self.capacity:
+            self.popitem(last=False)
+
+
 class TVEG:
     """A TVG whose edges carry energy-demand functions.
 
@@ -42,6 +72,13 @@ class TVEG:
         A distance provider; must answer for every (pair, time) at which the
         pair is in contact.  See :class:`~repro.traces.enrich.DistanceModel`
         and :mod:`repro.mobility` for the two standard sources.
+    dcs_capacity:
+        Optional cap on retained :class:`DiscreteCostSet` memo entries.
+        ``None`` (the default) memoizes every ``(node, t)`` cost set for
+        the TVG version's lifetime; a positive integer bounds the memo
+        with LRU eviction instead — identical results (evicted entries are
+        recomputed bit-for-bit on demand), bounded memory.  The scale
+        pipeline sets this when planning on million-contact stores.
     """
 
     def __init__(
@@ -49,6 +86,7 @@ class TVEG:
         tvg: TVG,
         channel: ChannelModel,
         distances: DistanceProvider,
+        dcs_capacity: Optional[int] = None,
     ) -> None:
         self._tvg = tvg
         self._channel = channel
@@ -64,7 +102,9 @@ class TVEG:
         # Populated by repro.tveg.costsets (single queries and batch sweeps)
         # so the backbone stage, extraction, and reduction passes share one
         # computation per (node, point).
-        self._dcs_memo: dict = {}
+        self._dcs_memo: dict = (
+            {} if dcs_capacity is None else _BoundedDCSMemo(dcs_capacity)
+        )
         self._dcs_memo_version = tvg.version
         # Derived-array memo for the numpy compute backend (per-node contact
         # component arrays etc.), same version discipline as the DCS memo.

@@ -95,7 +95,7 @@ class TestPlanBroadcast:
             plan_broadcast(det_static, 0, 100.0, window=(0.0, 50.0))
 
     def test_bad_input_type_rejected(self):
-        with pytest.raises(TypeError, match="ContactTrace or TVEG"):
+        with pytest.raises(TypeError, match="ContactTrace, ContactStore, or TVEG"):
             plan_broadcast([("not", "a", "trace")], 0, 100.0)
 
     def test_algorithm_alias_and_channel(self):

@@ -10,6 +10,10 @@ contract: a repeat ``/plan`` answered from the edge embeds the exact
 
 import http.client
 import json
+import os
+import socket
+import sys
+import threading
 
 import pytest
 
@@ -245,3 +249,100 @@ class TestKeepAliveAndDrain:
             AsyncPlanningServer(backend, timeout=0.0)
         with pytest.raises(ValueError):
             LocalBackend(backend.service, {}, max_inflight=0)
+
+
+def _load_loadtest():
+    sys.path.insert(0, os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools"
+    ))
+    import loadtest
+    return loadtest
+
+
+def _raw_post(host, port, path, body):
+    data = json.dumps(body).encode("utf-8")
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(data)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + data
+
+
+class TestPipelining:
+    """HTTP/1.1 pipelining: the front-end must frame back-to-back
+    requests exactly (no bytes of a later request swallowed by an
+    earlier body read) and answer them strictly in order."""
+
+    def test_raw_socket_pipelined_requests_answered_in_order(self, server):
+        loadtest = _load_loadtest()
+        host, port = server.address
+        bodies = [BODY, dict(BODY), {**BODY, "seed": 4}]
+        with socket.create_connection((host, port), timeout=60) as sock:
+            # all three requests hit the wire before any response is read
+            sock.sendall(b"".join(
+                _raw_post(host, port, "/plan", b) for b in bodies
+            ))
+            rfile = sock.makefile("rb")
+            docs = []
+            for _ in bodies:
+                status, doc, close = loadtest._read_http_response(rfile)
+                assert status == 200
+                assert close is False
+                docs.append(doc)
+            rfile.close()
+        # identical configurations answered identically, in issue order
+        assert docs[0]["key"] == docs[1]["key"]
+        assert (loadtest.normalized_plan(docs[0]["plan"])
+                == loadtest.normalized_plan(docs[1]["plan"]))
+        assert docs[2]["key"] != docs[0]["key"]
+
+    def test_error_response_does_not_derail_the_pipeline(self, server):
+        loadtest = _load_loadtest()
+        host, port = server.address
+        bodies = [BODY, {**BODY, "bogus_field": 1}, {**BODY, "seed": 5}]
+        with socket.create_connection((host, port), timeout=60) as sock:
+            sock.sendall(b"".join(
+                _raw_post(host, port, "/plan", b) for b in bodies
+            ))
+            rfile = sock.makefile("rb")
+            statuses = []
+            docs = []
+            for _ in bodies:
+                status, doc, _ = loadtest._read_http_response(rfile)
+                statuses.append(status)
+                docs.append(doc)
+            rfile.close()
+        assert statuses == [200, 400, 200]
+        assert "error" in docs[1]
+        assert docs[2]["plan"]["source"] is not None
+
+    def test_pipelined_client_preserves_identity_checking(self, server):
+        loadtest = _load_loadtest()
+        host, port = server.address
+        client = loadtest.PipelinedClient(f"http://{host}:{port}", 60.0)
+        identity = loadtest.IdentityTracker()
+        seen = []
+
+        def reader():
+            while True:
+                got = client.next_response()
+                if got is None:
+                    return
+                token, status, doc = got
+                assert status == 200
+                identity.observe(doc["key"], doc["plan"])
+                seen.append(token)
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        for i in range(6):
+            client.send(i, "/plan", {**BODY, "seed": 3 + (i % 2)})
+        client.finish()
+        t.join(timeout=120)
+        client.close()
+        assert seen == list(range(6))  # FIFO token matching
+        assert identity.violations == []
+        assert len(identity.snapshot()) == 2  # two distinct configurations

@@ -95,3 +95,78 @@ class TestConditions:
         strict = check_feasibility(det_fading, sched, 0, 100.0, eps=1e-6)
         assert loose.feasible
         assert not strict.feasible
+
+
+class TestReplayKernelParity:
+    """The numpy causal-replay kernel must match the stdlib loop
+    byte-for-byte: same reports, same informed times, same memo-backed
+    neighbor/failure evaluations."""
+
+    def _both(self, tveg, sched, source, deadline, **kw):
+        a = check_feasibility(tveg, sched, source, deadline,
+                              compute="python", **kw)
+        tveg.clear_caches()
+        b = check_feasibility(tveg, sched, source, deadline,
+                              compute="numpy", **kw)
+        return a, b
+
+    def _assert_equal(self, a, b):
+        assert a.feasible == b.feasible
+        assert a.violations == b.violations
+        assert repr(a.informed_times) == repr(b.informed_times)
+        assert (a.relays_informed, a.all_informed, a.latency_ok,
+                a.budget_ok) == (b.relays_informed, b.all_informed,
+                                 b.latency_ok, b.budget_ok)
+
+    def test_feasible_schedule(self, det_static):
+        a, b = self._both(det_static, full_schedule(det_static), 0, 100.0)
+        self._assert_equal(a, b)
+        assert a.feasible
+
+    def test_infeasible_and_unfired(self, det_static):
+        sched = Schedule([Transmission(1, 25.0, _w(det_static, 1, 2, 25.0))])
+        a, b = self._both(det_static, sched, 0, 100.0)
+        self._assert_equal(a, b)
+        assert not a.relays_informed
+
+    def test_same_instant_chain(self, det_static):
+        # 0 and 1 both fire at t=20: 1 is informed by 0's same-instant
+        # transmission, so the fixpoint fires both — on either kernel.
+        sched = Schedule([
+            Transmission(0, 20.0, _w(det_static, 0, 1, 20.0)),
+            Transmission(1, 20.0, _w(det_static, 1, 2, 20.0)),
+            Transmission(0, 15.0, _w(det_static, 0, 3, 15.0)),
+        ])
+        a, b = self._both(det_static, sched, 0, 100.0)
+        self._assert_equal(a, b)
+
+    def test_fading_probabilities(self, det_fading):
+        # fractional failure factors: partial informing exercises the
+        # masked elementwise multiply against the scalar product chain
+        sched = Schedule([
+            Transmission(0, 15.0, 0.4 * _w(det_fading, 0, 1, 15.0)),
+            Transmission(0, 16.0, 0.4 * _w(det_fading, 0, 1, 16.0)),
+            Transmission(0, 17.0, 0.4 * _w(det_fading, 0, 3, 17.0)),
+            Transmission(1, 25.0, 0.4 * _w(det_fading, 1, 2, 25.0)),
+        ])
+        for eps in (1e-6, 0.2, 0.999):
+            a, b = self._both(det_fading, sched, 0, 100.0, eps=eps)
+            self._assert_equal(a, b)
+
+    def test_scheduler_reduce_parity_across_kernels(self):
+        # full pipeline: an EEDCB run whose reduce passes replay on the
+        # pinned kernel must produce the identical schedule either way
+        from repro.algorithms import make_scheduler
+        from repro.tveg import tveg_from_trace
+        from repro.traces import HaggleLikeConfig, haggle_like_trace
+
+        trace = haggle_like_trace(HaggleLikeConfig(num_nodes=10), seed=4)
+        window = trace.restrict_window(8000.0, 11000.0).shift(-8000.0)
+        results = {}
+        for compute in ("python", "numpy"):
+            tveg = tveg_from_trace(window, "static", seed=4)
+            r = make_scheduler("eedcb", compute=compute).run(tveg, 0, 2500.0)
+            results[compute] = r
+        assert results["python"].schedule == results["numpy"].schedule
+        assert repr(results["python"].schedule.total_cost) == \
+            repr(results["numpy"].schedule.total_cost)

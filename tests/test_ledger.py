@@ -394,6 +394,27 @@ class TestBenchGate:
         cur = self._doc(dts_build=(0.50, None))  # +400% but < 1 ms absolute
         assert compare(cur, base) == []
 
+    def test_gate_catches_memory_growth(self):
+        base = self._doc(trace_ingest=(100.0, {"peak_mb": 100.0}))
+        cur = self._doc(trace_ingest=(100.0, {"peak_mb": 140.0}))
+        problems = compare(cur, base)
+        assert problems and "peak memory" in problems[0]
+        assert compare(cur, base, tolerance=0.5) == []
+
+    def test_memory_gate_has_absolute_slack(self):
+        # +50% but only +5 MB absolute: allocator noise, not a regression.
+        base = self._doc(trace_ingest=(100.0, {"peak_mb": 10.0}))
+        cur = self._doc(trace_ingest=(100.0, {"peak_mb": 15.0}))
+        assert compare(cur, base) == []
+
+    def test_memory_gate_ignores_calibration(self):
+        # A slower machine does not excuse a bigger heap: calibration
+        # scales times, never the peak_mb counter.
+        base = self._doc(cal=10.0, trace_ingest=(100.0, {"peak_mb": 100.0}))
+        cur = self._doc(cal=20.0, trace_ingest=(100.0, {"peak_mb": 140.0}))
+        problems = compare(cur, base)
+        assert problems and "peak memory" in problems[0]
+
 
 class TestReport:
     def _recorded_run(self):

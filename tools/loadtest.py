@@ -8,7 +8,15 @@ cache-hit share), a **tail** of distinct configurations (the miss
 share), and a sprinkle of ``POST /plan_many`` batch requests.  Reports
 closed- or open-loop throughput with p50/p95/p99 latency per request
 class, and checks that every response for one configuration carries a
-byte-identical plan after stripping the volatile timing fields
+byte-identical plan after stripping the volatile timing fields.
+
+Open-loop runs (``--rate``) issue requests on their arrival schedule
+over HTTP/1.1 *pipelined* keep-alive connections (``--pipeline`` lanes):
+each due request is written without waiting for earlier responses and a
+per-lane reader matches responses back to requests in FIFO order, so
+per-response identity checking is preserved while the generator stays
+open-loop at rates where thread-per-request would bottleneck the client.
+Identity is checked on the volatile-stripped document
 (``wall_seconds``, ``manifest.created_unix``, ``info.stage_seconds`` —
 everything else is deterministic content).
 
@@ -33,10 +41,12 @@ Exits nonzero when any ``--assert-*`` / ``--min-speedup`` bound fails.
 from __future__ import annotations
 
 import argparse
+import collections
 import http.client
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -186,6 +196,238 @@ class PooledClient:
         raise AssertionError("unreachable")
 
 
+#: longest header/status line a pipelined response parser will accept
+_MAX_LINE = 65536
+
+
+def _read_http_response(rfile):
+    """Parse one HTTP response from a buffered socket file.
+
+    Returns ``(status, doc, close)``: the status code, the decoded JSON
+    body (``None`` when the payload is not JSON), and whether the server
+    is closing the connection after this response.  Handles
+    Content-Length framing (what both repro front-ends emit), chunked
+    transfer coding, and the HTTP/1.0 read-until-close fallback.  The
+    caller owns ``rfile`` — one buffered reader per connection, so
+    read-ahead never swallows a later pipelined response.
+    """
+    line = rfile.readline(_MAX_LINE)
+    if not line:
+        raise ConnectionError("EOF before status line")
+    parts = line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise ValueError(f"malformed status line {line!r}")
+    version, status = parts[0], int(parts[1])
+    headers = {}
+    while True:
+        line = rfile.readline(_MAX_LINE)
+        if not line:
+            raise ConnectionError("EOF inside headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    te = headers.get("transfer-encoding", "").lower()
+    framed = True
+    if "chunked" in te:
+        body = bytearray()
+        while True:
+            size_line = rfile.readline(_MAX_LINE)
+            if not size_line:
+                raise ConnectionError("EOF inside chunked body")
+            size = int(size_line.split(b";")[0].strip() or b"0", 16)
+            if size == 0:
+                while True:  # trailers up to the final blank line
+                    trailer = rfile.readline(_MAX_LINE)
+                    if trailer in (b"\r\n", b"\n", b""):
+                        break
+                break
+            chunk = rfile.read(size + 2)  # data + CRLF
+            if len(chunk) < size:
+                raise ConnectionError("EOF inside chunk")
+            body += chunk[:size]
+        body = bytes(body)
+    elif "content-length" in headers:
+        length = int(headers["content-length"])
+        body = rfile.read(length)
+        if len(body) != length:
+            raise ConnectionError("EOF inside body")
+    else:
+        body = rfile.read()  # close-delimited: nothing can follow
+        framed = False
+    connection = headers.get("connection", "").lower()
+    close = (not framed or connection == "close"
+             or (version == "HTTP/1.0" and connection != "keep-alive"))
+    try:
+        doc = json.loads(body)
+    except ValueError:
+        doc = None
+    return status, doc, close
+
+
+class PipelinedClient:
+    """HTTP/1.1 pipelining on one persistent connection.
+
+    The open-loop generator's contract is that *send* instants follow
+    the arrival schedule no matter how the server is keeping up.  The
+    thread-per-request implementation honours that but pays a thread, a
+    TCP handshake, and a file descriptor per request — at high rates the
+    generator, not the server, becomes the bottleneck.  This client
+    instead writes each serialized request onto one keep-alive
+    connection the moment it is due, without waiting for earlier
+    responses, and a single reader drains responses strictly in request
+    order — the HTTP/1.1 pipelining contract — matching each back to
+    its token by FIFO position so per-response identity checking is
+    exactly as strong as before.
+
+    When the server closes the connection after a response (the legacy
+    HTTP/1.0 front-end always does), the outstanding requests are
+    replayed in order on a fresh connection; an unclean failure replays
+    too but charges the head request a retry, and a request out of
+    retries is reported as errored rather than looping forever.
+    """
+
+    _MAX_RETRIES = 4
+
+    def __init__(self, url: str, timeout: float) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        self._timeout = timeout
+        self._more = threading.Condition()
+        self._pending: "collections.deque" = collections.deque()
+        self._failed: "collections.deque" = collections.deque()
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._done = False
+
+    # -- plumbing (callers hold self._more) ----------------------------
+    def _connect_locked(self) -> None:
+        sock = socket.create_connection(
+            (self._host, self._port), self._timeout
+        )
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def _teardown_locked(self) -> None:
+        for closable in (self._rfile, self._sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:
+                    pass
+        self._rfile = None
+        self._sock = None
+
+    def _replay_locked(self) -> None:
+        """Reconnect and re-send every outstanding request, in order.
+
+        A connect failure means the server is gone for everything
+        already on the wire: outstanding requests move to the failure
+        queue instead of spinning on reconnect attempts.
+        """
+        self._teardown_locked()
+        try:
+            self._connect_locked()
+            for entry in self._pending:
+                self._sock.sendall(entry[1])
+        except OSError:
+            self._teardown_locked()
+            self._failed.extend(entry[0] for entry in self._pending)
+            self._pending.clear()
+
+    def _serialize(self, path: str, body: Dict[str, Any]) -> bytes:
+        data = json.dumps(body).encode("utf-8")
+        head = (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        return head + data
+
+    # -- writer side ----------------------------------------------------
+    def send(self, token, path: str, body: Dict[str, Any]) -> None:
+        """Queue one request on the wire; returns as soon as it is written."""
+        raw = self._serialize(path, body)
+        with self._more:
+            try:
+                if self._sock is None:
+                    self._connect_locked()
+                self._sock.sendall(raw)
+            except OSError:
+                self._teardown_locked()
+                raise
+            self._pending.append([token, raw, 0])
+            self._more.notify()
+
+    def finish(self) -> None:
+        """No more sends: lets the reader drain the tail and return."""
+        with self._more:
+            self._done = True
+            self._more.notify()
+
+    def close(self) -> None:
+        with self._more:
+            self._done = True
+            self._teardown_locked()
+            self._more.notify()
+
+    # -- reader side ----------------------------------------------------
+    def next_response(self):
+        """Block for the oldest outstanding response.
+
+        Returns ``(token, status, doc)``, with status ``-1`` and a
+        ``None`` doc for a request that exhausted its retries, or
+        ``None`` once :meth:`finish` was called and every outstanding
+        request has been answered.
+        """
+        while True:
+            with self._more:
+                if self._failed:
+                    return self._failed.popleft(), -1, None
+                while not self._pending and not self._done:
+                    self._more.wait()
+                if not self._pending:
+                    return (self._failed.popleft(), -1, None) \
+                        if self._failed else None
+                entry = self._pending[0]
+                rfile = self._rfile
+            try:
+                if rfile is None:
+                    raise ConnectionError("connection torn down")
+                status, doc, close = _read_http_response(rfile)
+            except (OSError, ValueError, ConnectionError):
+                with self._more:
+                    if self._done and not self._pending:
+                        return None
+                    # the head request may be mid-flight on a dead
+                    # connection: it pays the retry, everyone replays
+                    entry[2] += 1
+                    if entry[2] > self._MAX_RETRIES:
+                        if self._pending and self._pending[0] is entry:
+                            self._pending.popleft()
+                        self._failed.append(entry[0])
+                    self._replay_locked()
+                continue
+            with self._more:
+                if self._pending and self._pending[0] is entry:
+                    self._pending.popleft()
+                if close:
+                    # a clean per-response close (HTTP/1.0 front-end)
+                    # made progress, so replaying the rest is not a retry
+                    self._teardown_locked()
+                    if self._pending:
+                        self._replay_locked()
+            return entry[0], status, doc
+
+
 def _get(url: str, path: str, timeout: float = 30.0):
     with urllib.request.urlopen(url + path, timeout=timeout) as resp:
         return json.loads(resp.read())
@@ -298,15 +540,13 @@ def run_load(
     client = PooledClient(url, args.request_timeout)
     t_start = time.perf_counter()
 
-    def issue(i: int) -> None:
-        path, body = workload[i]
-        t0 = time.perf_counter()
-        try:
-            status, doc = client.post(path, body)
-        except Exception:
-            results[i] = (path, -1, time.perf_counter() - t0, False)
-            return
+    def record(i: int, status: int, doc, t0: float) -> None:
+        """File one response under request ``i``; feeds identity checking."""
+        path = workload[i][0]
         latency = time.perf_counter() - t0
+        if status < 0 or doc is None:
+            results[i] = (path, -1, latency, False)
+            return
         cached = bool(doc.get("cached")) if path == "/plan" else (
             all(doc.get("cached") or [False])
         )
@@ -319,6 +559,16 @@ def run_load(
                     identity.observe(key, plan)
         results[i] = (path, status, latency, cached if status == 200 else False)
 
+    def issue(i: int) -> None:
+        path, body = workload[i]
+        t0 = time.perf_counter()
+        try:
+            status, doc = client.post(path, body)
+        except Exception:
+            results[i] = (path, -1, time.perf_counter() - t0, False)
+            return
+        record(i, status, doc, t0)
+
     def closed_worker() -> None:
         while True:
             with cursor_lock:
@@ -328,7 +578,51 @@ def run_load(
                 cursor["next"] = i + 1
             issue(i)
 
-    if args.rate:  # open loop: issue at a fixed rate, unbounded outstanding
+    pipeline = getattr(args, "pipeline", 1)
+    if args.rate and pipeline:
+        # open loop over HTTP/1.1 pipelining: requests go out on their
+        # arrival schedule across a small fixed set of persistent
+        # connections (striped round-robin); one reader per lane drains
+        # responses in request order, so outstanding work is still
+        # unbounded but the generator no longer spends a thread and a
+        # TCP handshake per request
+        lanes = [PipelinedClient(url, args.request_timeout)
+                 for _ in range(pipeline)]
+        t_sent = [0.0] * len(workload)
+
+        def lane_reader(lane: PipelinedClient) -> None:
+            while True:
+                got = lane.next_response()
+                if got is None:
+                    return
+                i, status, doc = got
+                record(i, status, doc, t_sent[i])
+
+        readers = [
+            threading.Thread(target=lane_reader, args=(lane,), daemon=True)
+            for lane in lanes
+        ]
+        for t in readers:
+            t.start()
+        for i in range(len(workload)):
+            target = t_start + i * interval
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            path, body = workload[i]
+            t_sent[i] = time.perf_counter()
+            try:
+                lanes[i % len(lanes)].send(i, path, body)
+            except OSError:
+                results[i] = (path, -1, time.perf_counter() - t_sent[i],
+                              False)
+        for lane in lanes:
+            lane.finish()
+        for t in readers:
+            t.join(timeout=args.request_timeout + 10)
+        for lane in lanes:
+            lane.close()
+    elif args.rate:  # open loop: thread + connection per request
         threads: List[threading.Thread] = []
         for i in range(len(workload)):
             target = t_start + i * interval
@@ -389,6 +683,7 @@ def run_load(
         "throughput_rps": len(oks) / duration if duration > 0 else 0.0,
         "concurrency": args.concurrency,
         "rate": args.rate,
+        "pipeline": pipeline if args.rate else None,
         "latency": tail(latencies),
         "by_class": by_class,
     }
@@ -489,6 +784,11 @@ def make_parser() -> argparse.ArgumentParser:
                    help="closed-loop worker count (ignored with --rate)")
     p.add_argument("--rate", type=float, default=None,
                    help="open-loop request rate in rps (default: closed loop)")
+    p.add_argument("--pipeline", type=int, default=1, metavar="LANES",
+                   help="open-loop only: write due requests onto this many "
+                   "persistent HTTP/1.1 pipelined connections instead of a "
+                   "thread + connection per request (0 restores the "
+                   "thread-per-request generator)")
     p.add_argument("--hit-ratio", type=float, default=0.8,
                    help="share of requests repeating the hot configuration")
     p.add_argument("--plan-many-ratio", type=float, default=0.05,

@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Million-contact scale smoke test — run by CI, usable locally.
+
+Regenerates the benchmark suite's N=1000 / 10^6-contact synthetic
+instance (same ``SCALE_*`` constants as the ``trace_ingest`` and
+``plan_n1000`` bench ops), pushes it through the full columnar pipeline,
+and asserts the three scale acceptance properties:
+
+1. **ingest**: the CRAWDAD text rendering (the writers round to 6
+   decimals, so the text file *is* the instance) fingerprints
+   identically three ways — streamed through ``ingest_path``, reloaded
+   from a saved ``.ctrace`` header (no row scan), and parsed into
+   per-contact objects by the ``ContactTrace`` oracle;
+2. **bounded memory**: a child interpreter plans one source from the
+   ``.ctrace`` file — windowed store → ``tveg_from_trace`` with an LRU
+   ``dcs_capacity`` bound — under a hard ``resource.setrlimit``
+   address-space ceiling (``--limit-mb``).  The unbounded DCS memo
+   alone needs ~2.8 GB here, so a regression to per-contact objects or
+   an unbounded memo dies on ``MemoryError`` instead of quietly using
+   more RAM;
+3. **parity**: the store-backed schedule is byte-identical (relay ids,
+   ``float.hex()`` times/costs, total cost) to the dict-backed
+   ``ContactTrace`` path planned from the same text file in an
+   unlimited child — the oracle is allowed to be fat, the store is not.
+
+Usage::
+
+    PYTHONPATH=src python tools/scale_smoke.py             # full instance
+    PYTHONPATH=src python tools/scale_smoke.py --quick     # 50k contacts
+
+Exits nonzero with a diagnostic on the first violated property.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+if SRC_ROOT not in sys.path:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, SRC_ROOT)
+
+# Quick instance mirrors the quick-mode trace_ingest op: same generator,
+# two decades smaller, for exercising this script outside CI.
+QUICK_NODES, QUICK_CONTACTS, QUICK_HORIZON = 200, 50_000, 20_000.0
+QUICK_WINDOW, QUICK_DEADLINE = (0.0, 2000.0), 1500.0
+SOURCE = 0
+ALGORITHM = "greed"
+PLAN_SEED = 5
+# The greedy event scheduler queries a DCS per (informed node, event
+# time); left unbounded the memo costs ~2.8 GB peak RSS on the full
+# instance.  The LRU bound recomputes evicted entries bit-for-bit, so
+# both legs plan under it and the schedules stay byte-identical.
+DCS_CAPACITY = 100_000
+
+
+def _instance(quick: bool):
+    from repro.obs.bench import (
+        SCALE_CONTACTS, SCALE_DEADLINE, SCALE_HORIZON, SCALE_NODES,
+        SCALE_SEED, SCALE_WINDOW,
+    )
+
+    if quick:
+        return (QUICK_NODES, QUICK_CONTACTS, QUICK_HORIZON, SCALE_SEED,
+                QUICK_WINDOW, QUICK_DEADLINE)
+    return (SCALE_NODES, SCALE_CONTACTS, SCALE_HORIZON, SCALE_SEED,
+            SCALE_WINDOW, SCALE_DEADLINE)
+
+
+def _schedule_digest(plan) -> dict:
+    """The byte-comparable essence of a plan: exact floats via hex."""
+    return {
+        "rows": [
+            [str(t.relay), t.time.hex(), t.cost.hex()]
+            for t in plan.schedule
+        ],
+        "total_cost": plan.total_cost.hex(),
+        "feasible": bool(plan.feasible),
+    }
+
+
+def _child(args) -> int:
+    """One planning leg, result JSON on the last stdout line."""
+    import resource
+
+    if args.limit_mb:
+        ceiling = int(args.limit_mb * 1024 * 1024)
+        resource.setrlimit(resource.RLIMIT_AS, (ceiling, ceiling))
+
+    from repro import plan_broadcast, tveg_from_trace
+    from repro.traces import ContactStore
+    from repro.traces.parser import parse_crawdad
+
+    _, _, _, _, window, deadline = _instance(args.quick)
+    t0 = time.perf_counter()
+    if args.child == "store":
+        trace = ContactStore.load(args.path)
+    else:
+        trace = parse_crawdad(args.path)
+    trace_fp = trace.fingerprint()
+    load_s = time.perf_counter() - t0
+    # The same window → shift → TVEG pipeline plan_broadcast(window=...)
+    # runs internally, built explicitly so the DCS memo can be bounded.
+    start, end = window
+    windowed = trace.restrict_window(start, end).shift(-start)
+    tveg = tveg_from_trace(windowed, seed=PLAN_SEED,
+                           dcs_capacity=DCS_CAPACITY)
+    plan = plan_broadcast(
+        tveg, SOURCE, deadline, algorithm=ALGORITHM, seed=PLAN_SEED,
+    )
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_mb = rss / 1e6 if sys.platform == "darwin" else rss / 1024.0
+    doc = _schedule_digest(plan)
+    doc["trace_fp"] = trace_fp
+    doc["peak_mb"] = round(peak_mb, 1)
+    doc["load_s"] = round(load_s, 2)
+    doc["plan_s"] = round(time.perf_counter() - t0 - load_s, 2)
+    print(json.dumps(doc, sort_keys=True))
+    return 0
+
+
+def _run_leg(leg: str, path: str, args, limit_mb: int) -> dict:
+    cmd = [sys.executable, os.path.abspath(__file__), "--child", leg,
+           "--path", path, "--limit-mb", str(limit_mb)]
+    if args.quick:
+        cmd.append("--quick")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC_ROOT, env.get("PYTHONPATH")) if p
+    )
+    out = subprocess.run(cmd, capture_output=True, text=True, env=env,
+                         timeout=args.timeout)
+    if out.returncode != 0:
+        raise SystemExit(
+            f"FAIL: {leg} leg exited {out.returncode}"
+            + (f" (limit {limit_mb} MB)" if limit_mb else "")
+            + f"\n--- stderr tail ---\n{out.stderr.strip()[-2000:]}"
+        )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="50k-contact instance (local sanity runs)")
+    parser.add_argument("--limit-mb", type=int, default=1024,
+                        help="address-space ceiling for the store leg in MB "
+                        "(0 disables; default 1024 — the unbounded DCS "
+                        "memo alone needs ~2.8 GB, so a regression to it "
+                        "trips the ceiling)")
+    parser.add_argument("--workdir", default=None,
+                        help="keep generated files here instead of a "
+                        "temp directory")
+    parser.add_argument("--timeout", type=float, default=1800.0,
+                        help="per-leg timeout in seconds (default 1800)")
+    parser.add_argument("--child", choices=("store", "dict"),
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--path", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        return _child(args)
+
+    from repro.traces import ContactStore, ingest_path, scale_trace_store
+    from repro.traces.writer import write_crawdad
+
+    nodes, contacts, horizon, seed, _, _ = _instance(args.quick)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="scale-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    text_path = os.path.join(workdir, "scale.txt")
+    ctrace_path = os.path.join(workdir, "scale.ctrace")
+
+    t0 = time.perf_counter()
+    generated = scale_trace_store(nodes, contacts, horizon, seed=seed)
+    write_crawdad(generated, text_path)
+    print(f"generated {contacts:,} contacts / {nodes} nodes "
+          f"({os.path.getsize(text_path) / 1e6:.1f} MB text) "
+          f"in {time.perf_counter() - t0:.1f}s")
+
+    t0 = time.perf_counter()
+    ingested = ingest_path(text_path)
+    fp = ingested.fingerprint()
+    print(f"ingest+fingerprint {fp} in {time.perf_counter() - t0:.1f}s")
+
+    ingested.save(ctrace_path)
+    t0 = time.perf_counter()
+    reloaded_fp = ContactStore.load(ctrace_path).fingerprint()
+    print(f".ctrace reload fingerprint in {time.perf_counter() - t0:.3f}s")
+    if reloaded_fp != fp:
+        print("FAIL: .ctrace round trip changed the trace fingerprint")
+        return 1
+    del generated, ingested
+
+    store_doc = _run_leg("store", ctrace_path, args, args.limit_mb)
+    print(f"store leg: {len(store_doc['rows'])} transmissions, "
+          f"peak RSS {store_doc['peak_mb']} MB "
+          f"(ceiling {args.limit_mb or 'none'} MB), "
+          f"load {store_doc['load_s']}s, plan {store_doc['plan_s']}s")
+
+    dict_doc = _run_leg("dict", text_path, args, 0)
+    print(f"dict leg:  {len(dict_doc['rows'])} transmissions, "
+          f"peak RSS {dict_doc['peak_mb']} MB (oracle, unlimited), "
+          f"load {dict_doc['load_s']}s, plan {dict_doc['plan_s']}s")
+
+    if store_doc["trace_fp"] != fp or dict_doc["trace_fp"] != fp:
+        print(f"FAIL: fingerprint disagreement — ingest {fp}, "
+              f".ctrace {store_doc['trace_fp']}, "
+              f"oracle {dict_doc['trace_fp']}")
+        return 1
+    for key in ("rows", "total_cost", "feasible"):
+        if store_doc[key] != dict_doc[key]:
+            print(f"FAIL: store-vs-dict schedule diverged on {key!r}")
+            return 1
+    if not store_doc["feasible"]:
+        print("FAIL: planned schedule is infeasible")
+        return 1
+    print("ok: store-backed schedule byte-identical to the dict oracle")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
