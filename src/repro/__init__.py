@@ -89,6 +89,15 @@ from .schedule import (
     informed_time,
     uninformed_probability,
 )
+from .protosim import (
+    ProtocolConfig,
+    ProtocolResult,
+    ProtocolSummary,
+    check_analytic_parity,
+    execute_plan,
+    execute_schedule,
+    run_protocol_trials,
+)
 from .sim import SimulationSummary, run_trials, simulate_schedule
 from .temporal import TVG, Journey, earliest_arrivals, foremost_journey
 from .traces import (
@@ -167,6 +176,13 @@ __all__ = [
     "simulate_schedule",
     "run_trials",
     "SimulationSummary",
+    "ProtocolConfig",
+    "ProtocolResult",
+    "ProtocolSummary",
+    "check_analytic_parity",
+    "execute_plan",
+    "execute_schedule",
+    "run_protocol_trials",
     # online protocols
     "Epidemic",
     "Gossip",

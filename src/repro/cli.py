@@ -8,7 +8,12 @@ writing Python:
 * ``trace``      — convert a text trace to the columnar ``.ctrace`` format
   (streaming, bounded memory) and print its header stats;
 * ``schedule``   — run a scheduler on a trace window and print the schedule;
-* ``simulate``   — Monte-Carlo a schedule produced by a scheduler;
+* ``simulate``   — Monte-Carlo a schedule produced by a scheduler
+  (``--protocol`` switches the analytic sampler for the protocol-level
+  message-passing simulator);
+* ``protosim``   — execute a plan as per-node protocol behavior (HELLO/
+  DATA/ACK frames, bounded queues, retransmissions, clock offsets) with
+  full knob control and an analytic-parity cross-check;
 * ``experiment`` — regenerate one of the paper's figures (4–7);
 * ``bench``      — micro-benchmarks with a committed-baseline regression gate;
 * ``report``     — render a recorded run ledger as a self-contained HTML page;
@@ -189,7 +194,59 @@ def build_parser() -> argparse.ArgumentParser:
                    "byte-identical either way)")
     m.add_argument("--schedule-file", default=None,
                    help="simulate this saved schedule instead of rescheduling")
+    m.add_argument("--protocol", action="store_true",
+                   help="run the protocol-level simulator (per-node message "
+                   "passing with ACK-driven retransmissions) instead of the "
+                   "analytic round sampler")
     _add_obs_flags(m)
+
+    p = sub.add_parser(
+        "protosim", parents=[common],
+        help="execute a plan as per-node protocol behavior "
+        "(HELLO/DATA/ACK, queues, retransmissions, clock offsets)",
+    )
+    p.add_argument("trace")
+    p.add_argument("--algorithm", type=_algorithm_arg, default="eedcb",
+                   metavar="ALGO")
+    p.add_argument("--channel", choices=("static", "rayleigh"), default=None)
+    p.add_argument("--window-start", type=float, default=0.0)
+    p.add_argument("--delay", type=float, default=2000.0)
+    p.add_argument("--source", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trials", type=int, default=100)
+    p.add_argument("--workers", type=int, default=1,
+                   help="trial worker processes (1 = serial, -1 = one per "
+                   "CPU); results are bit-identical for any value")
+    p.add_argument("--backend", choices=("compact", "nx"), default=None,
+                   help=argparse.SUPPRESS)
+    p.add_argument("--compute", choices=COMPUTE_BACKENDS, default=None,
+                   help="kernel implementation for the scheduler hot path")
+    p.add_argument("--schedule-file", default=None,
+                   help="execute this saved schedule instead of rescheduling")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retransmission attempts per plan row (default 2)")
+    p.add_argument("--backoff", type=float, default=5.0,
+                   help="base retransmission delay; attempt a waits "
+                   "backoff*2^a (default 5)")
+    p.add_argument("--no-ack", action="store_true",
+                   help="disable ACKs (retries become blind repeats)")
+    p.add_argument("--hello-cost", type=float, default=0.0,
+                   help="transmit cost of one HELLO beacon (default 0)")
+    p.add_argument("--queue-capacity", type=int, default=16,
+                   help="per-node transmit queue bound (default 16)")
+    p.add_argument("--service-time", type=float, default=0.0,
+                   help="radio occupancy per DATA frame (default 0)")
+    p.add_argument("--clock-jitter", type=float, default=0.0,
+                   help="per-node clock offsets drawn from [-J, +J] "
+                   "(default 0 = synchronized)")
+    p.add_argument("--parity", action="store_true",
+                   help="use the degenerate analytic-parity configuration "
+                   "(no retries, no ACKs, zero offsets)")
+    p.add_argument("--check-parity", action="store_true",
+                   help="also cross-validate one parity-mode run against "
+                   "the analytic simulator (non-fading channels only); "
+                   "a mismatch fails the command")
+    _add_obs_flags(p)
 
     e = sub.add_parser("experiment", parents=[common],
                        help="regenerate a paper figure")
@@ -439,6 +496,8 @@ def _cmd_simulate(args) -> int:
         schedule = read_schedule_csv(args.schedule_file)
     else:
         schedule = scheduler.schedule(tveg, source, args.delay)
+    if getattr(args, "protocol", False):
+        return _simulate_protocol(args, tveg, schedule, source)
     summary = run_trials(
         tveg, schedule, source, num_trials=args.trials, seed=args.seed,
         count_scheduled_energy=True, workers=args.workers,
@@ -460,6 +519,80 @@ def _cmd_simulate(args) -> int:
     print(f"delivery:   {summary.mean_delivery:.4f}  (95% CI [{lo:.4f}, {hi:.4f}])")
     print(f"trials:     {summary.num_trials}")
     return 0
+
+
+def _protocol_config(args):
+    """Build a ProtocolConfig from protosim CLI flags (or the default)."""
+    from .protosim import ProtocolConfig
+
+    if getattr(args, "parity", False):
+        return ProtocolConfig.parity()
+    if not hasattr(args, "max_retries"):
+        return ProtocolConfig()  # `simulate --protocol`: library defaults
+    return ProtocolConfig(
+        max_retries=args.max_retries,
+        backoff=args.backoff,
+        ack=not args.no_ack,
+        hello_cost=args.hello_cost,
+        queue_capacity=args.queue_capacity,
+        service_time=args.service_time,
+        clock_jitter=args.clock_jitter,
+    )
+
+
+def _simulate_protocol(args, tveg, schedule, source) -> int:
+    """Shared protocol-run body of ``simulate --protocol`` / ``protosim``."""
+    from .protosim import check_analytic_parity, run_protocol_trials
+
+    label = (
+        f"file:{args.schedule_file}" if args.schedule_file else args.algorithm
+    )
+    if getattr(args, "check_parity", False):
+        report = check_analytic_parity(tveg, schedule, source, args.delay)
+        verdict = "ok" if report.ok else "MISMATCH"
+        print(f"parity:     {verdict} (informed={len(report.analytic_informed)}"
+              f"/{tveg.num_nodes} nodes, lossless static channel)")
+        for line in report.mismatches:
+            print(f"#   {line}")
+        if not report.ok:
+            return 2
+    config = _protocol_config(args)
+    summary = run_protocol_trials(
+        tveg, schedule, source, args.delay, num_trials=args.trials,
+        seed=args.seed, config=config, workers=args.workers,
+    )
+    lo, hi = summary.delivery_ci95()
+    obs.emit(
+        obs.EV_RUN_SUMMARY,
+        algorithm=label,
+        num_nodes=tveg.num_nodes,
+        transmissions=len(schedule),
+        total_cost=schedule.total_cost,
+        mean_delivery=summary.mean_delivery,
+        mean_energy=summary.mean_energy,
+        mean_retransmits=summary.mean_retransmits,
+        trials=summary.num_trials,
+        engine="protocol",
+    )
+    print(f"algorithm:  {label} (protocol engine)")
+    print(f"energy:     {PAPER_PARAMS.normalize_energy(summary.mean_energy):.3f} "
+          "(normalized, radiated incl. retransmissions + overhead)")
+    print(f"delivery:   {summary.mean_delivery:.4f}  (95% CI [{lo:.4f}, {hi:.4f}])")
+    print(f"data sent:  {summary.mean_data_sent:.2f} frames/trial "
+          f"({summary.mean_retransmits:.2f} retransmissions)")
+    print(f"trials:     {summary.num_trials}")
+    return 0
+
+
+def _cmd_protosim(args) -> int:
+    from .schedule.io import read_schedule_csv
+
+    tveg, source, scheduler = _prepare(args)
+    if args.schedule_file:
+        schedule = read_schedule_csv(args.schedule_file)
+    else:
+        schedule = scheduler.schedule(tveg, source, args.delay)
+    return _simulate_protocol(args, tveg, schedule, source)
 
 
 def _cmd_experiment(args) -> int:
@@ -730,6 +863,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "schedule": _cmd_schedule,
     "simulate": _cmd_simulate,
+    "protosim": _cmd_protosim,
     "experiment": _cmd_experiment,
     "bench": _cmd_bench,
     "report": _cmd_report,

@@ -36,6 +36,10 @@ from .events import (
     EV_ENERGY_DEBITED,
     EV_FEASIBILITY_CHECKED,
     EV_MANIFEST,
+    EV_MSG_DROPPED,
+    EV_MSG_RECEIVED,
+    EV_MSG_RETRANSMIT,
+    EV_MSG_SENT,
     EV_NODE_INFORMED,
     EV_ONLINE_ATTEMPT,
     EV_PLAN_CACHE_HIT,
@@ -162,6 +166,10 @@ __all__ = [
     "EV_FEASIBILITY_CHECKED",
     "EV_SIM_RECEPTION",
     "EV_ONLINE_ATTEMPT",
+    "EV_MSG_SENT",
+    "EV_MSG_RECEIVED",
+    "EV_MSG_DROPPED",
+    "EV_MSG_RETRANSMIT",
     "EV_RUN_SUMMARY",
     "EV_PLAN_CACHE_HIT",
     "EV_PLAN_CACHE_MISS",

@@ -2,7 +2,8 @@
 
 ``run_bench`` times the pipeline's core operations (DTS construction,
 auxiliary-graph build, Steiner solve, full EEDCB / FR-EEDCB runs,
-Monte-Carlo simulation, temporal Dijkstra, feasibility checking, plan-cache
+Monte-Carlo simulation, protocol-level plan execution, temporal Dijkstra,
+feasibility checking, plan-cache
 hits, batched service planning, and columnar trace ingest) on a
 deterministic synthetic instance and reports p50/p95 wall times together
 with the *work counters* each operation produced (Steiner expansions, NLP
@@ -64,6 +65,7 @@ TIER1_OPS = (
     "eedcb_run_n50",
     "fr_eedcb_run",
     "monte_carlo",
+    "protosim_run",
     "plan_cache_hit",
     "batched_plan",
     "plan_many",
@@ -155,6 +157,7 @@ def _ops(
         execute_request,
         parse_plan_request,
     )
+    from ..protosim import run_protocol_trials
     from ..sim import run_trials
     from ..steiner import solve_memt
     from ..temporal import earliest_arrivals
@@ -236,6 +239,27 @@ def _ops(
         run_trials(static, schedule, source, num_trials=trials, seed=1,
                    workers=2)
         return {"trials": float(trials), "workers": 2.0}
+
+    def protosim_run():
+        # The EEDCB plan executed as protocol behavior on the fading twin
+        # (the lossy case exercises ACKs and retransmissions).  Frame and
+        # retransmit totals are summed from the per-trial results, so the
+        # counters are exact integers — deterministic for the fixed seed
+        # and independent of backend/compute (the schedule is
+        # byte-identical across them).
+        s = run_protocol_trials(
+            fading, schedule, source, delay, num_trials=trials, seed=1,
+            keep_outcomes=True,
+        )
+        return {
+            "trials": float(trials),
+            "data_frames": float(
+                sum(r.counts.data_sent for r in s.outcomes)
+            ),
+            "retransmits": float(
+                sum(r.counts.retransmits for r in s.outcomes)
+            ),
+        }
 
     def temporal_dijkstra():
         arr = earliest_arrivals(static.tvg, source)
@@ -341,6 +365,7 @@ def _ops(
         ("fr_eedcb_run", fr_eedcb_run),
         ("monte_carlo", monte_carlo),
         ("monte_carlo_parallel", monte_carlo_parallel),
+        ("protosim_run", protosim_run),
         ("temporal_dijkstra", temporal_dijkstra),
         ("feasibility_check", feasibility_check),
         ("plan_cache_hit", plan_cache_hit),

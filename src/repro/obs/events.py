@@ -45,6 +45,10 @@ __all__ = [
     "EV_FEASIBILITY_CHECKED",
     "EV_SIM_RECEPTION",
     "EV_ONLINE_ATTEMPT",
+    "EV_MSG_SENT",
+    "EV_MSG_RECEIVED",
+    "EV_MSG_DROPPED",
+    "EV_MSG_RETRANSMIT",
     "EV_RUN_SUMMARY",
     "EV_PLAN_CACHE_HIT",
     "EV_PLAN_CACHE_MISS",
@@ -71,8 +75,18 @@ EV_CONSTRAINT_VIOLATED = "constraint_violated"
 EV_FEASIBILITY_CHECKED = "feasibility_checked"
 #: a Monte-Carlo trial delivered the packet to a node (node, time, relay)
 EV_SIM_RECEPTION = "sim_reception"
-#: one online forwarding attempt (carrier, target, cost, success)
+#: one online forwarding attempt (carrier, target, cost, success) — also
+#: carries the protosim-compatible msg/src/dst/outcome fields, so one
+#: filter (see :func:`repro.obs.report.message_rows`) reads both engines
 EV_ONLINE_ATTEMPT = "online_attempt"
+#: a protocol frame hit the air (msg: hello|data|ack, src, dst, cost)
+EV_MSG_SENT = "msg_sent"
+#: a protocol frame was decoded by its receiver (msg, src, dst, cost)
+EV_MSG_RECEIVED = "msg_received"
+#: a protocol frame was lost (reason: loss | queue_full)
+EV_MSG_DROPPED = "msg_dropped"
+#: a DATA frame was repeated (src, attempt) — the matching msg_sent follows
+EV_MSG_RETRANSMIT = "msg_retransmit"
 #: end-of-run rollup (algorithm, stage_seconds, totals) — what the HTML
 #: report's timing panel reads
 EV_RUN_SUMMARY = "run_summary"
@@ -100,6 +114,10 @@ EVENT_TYPES = (
     EV_FEASIBILITY_CHECKED,
     EV_SIM_RECEPTION,
     EV_ONLINE_ATTEMPT,
+    EV_MSG_SENT,
+    EV_MSG_RECEIVED,
+    EV_MSG_DROPPED,
+    EV_MSG_RETRANSMIT,
     EV_RUN_SUMMARY,
     EV_PLAN_CACHE_HIT,
     EV_PLAN_CACHE_MISS,

@@ -9,6 +9,10 @@ page with no external assets:
 * an informed-fraction-over-time sparkline (inline SVG) built from the
   per-node ε-crossing events;
 * a per-node energy table aggregated from the scheduled transmissions;
+* a per-message timeline (sent/received/dropped/retransmit counts per
+  node with first-reception markers) whenever ``msg_*`` or
+  ``online_attempt`` events are present — :func:`message_rows` is the
+  shared normalizer over both engines' per-message events;
 * a stage wall-time breakdown from the run summary;
 * every feasibility violation, naming the violated Section IV condition.
 
@@ -27,7 +31,7 @@ from . import events as ev
 from .events import Event
 from .ledger import read_ledger_ndjson
 
-__all__ = ["load_run", "render_html", "write_report"]
+__all__ = ["load_run", "message_rows", "render_html", "write_report"]
 
 
 def load_run(path: str) -> Tuple[Dict[str, Any], List[Event]]:
@@ -105,6 +109,110 @@ def _energy_rows(records: Sequence[Event]) -> List[Tuple[str, str, int, float]]:
         (relay, algo, len(costs), sum(costs))
         for (relay, algo), costs in agg.items()
     )
+
+
+#: ledger event types that describe one per-message protocol action
+_MSG_EVENT_TYPES = (
+    ev.EV_MSG_SENT,
+    ev.EV_MSG_RECEIVED,
+    ev.EV_MSG_DROPPED,
+    ev.EV_MSG_RETRANSMIT,
+    ev.EV_ONLINE_ATTEMPT,
+)
+
+
+def message_rows(records: Sequence[Event]) -> List[Dict[str, Any]]:
+    """Normalize per-message activity from either execution engine.
+
+    The protocol simulator emits typed ``msg_*`` events; the online
+    engine emits ``online_attempt`` events carrying the same
+    ``msg``/``src``/``dst``/``outcome`` fields (older ledgers only the
+    ``carrier``/``peer``/``success`` names, which are translated here).
+    Each returned row is a flat dict with keys ``t``, ``msg``, ``src``,
+    ``dst``, ``outcome``, ``cost``, ``reason``, ``attempt`` — the one
+    filter the issue's ledger-unification calls for.
+    """
+    rows: List[Dict[str, Any]] = []
+    for e in records:
+        if e.type not in _MSG_EVENT_TYPES:
+            continue
+        f = e.fields
+        if e.type == ev.EV_ONLINE_ATTEMPT:
+            outcome = f.get("outcome")
+            if outcome is None:
+                outcome = "received" if f.get("success") else "dropped"
+            rows.append({
+                "t": e.t,
+                "msg": f.get("msg", "data"),
+                "src": f.get("src", f.get("carrier")),
+                "dst": f.get("dst", f.get("peer")),
+                "outcome": outcome,
+                "cost": f.get("cost"),
+                "reason": f.get("reason"),
+                "attempt": f.get("attempt"),
+            })
+        else:
+            outcome = f.get("outcome", e.type[len("msg_"):])
+            rows.append({
+                "t": e.t,
+                "msg": f.get("msg"),
+                "src": f.get("src"),
+                "dst": f.get("dst"),
+                "outcome": outcome,
+                "cost": f.get("cost"),
+                "reason": f.get("reason"),
+                "attempt": f.get("attempt"),
+            })
+    return rows
+
+
+def _message_section(records: Sequence[Event]) -> List[str]:
+    """The per-message timeline section (empty when no msg activity)."""
+    rows = message_rows(records)
+    if not rows:
+        return []
+    per_node: Dict[str, Counter] = defaultdict(Counter)
+    first_rx: Dict[str, float] = {}
+    kinds = Counter()
+    for r in rows:
+        kinds[str(r["msg"])] += 1
+        outcome = r["outcome"]
+        if outcome == "sent":
+            per_node[str(r["src"])]["sent"] += 1
+        elif outcome == "received":
+            per_node[str(r["dst"])]["received"] += 1
+            if r["msg"] == "data" and r["t"] is not None:
+                node = str(r["dst"])
+                if node not in first_rx or r["t"] < first_rx[node]:
+                    first_rx[node] = r["t"]
+        elif outcome == "dropped":
+            where = r["dst"] if r["dst"] is not None else r["src"]
+            per_node[str(where)]["dropped"] += 1
+        elif outcome == "retransmit":
+            per_node[str(r["src"])]["retransmit"] += 1
+    parts = [
+        "<h2>Message timeline</h2>",
+        "<p>%d message events (%s)</p>" % (
+            len(rows),
+            ", ".join(f"{k}: {n}" for k, n in kinds.most_common()),
+        ),
+        "<table class='t'><tr><th>node</th><th>sent</th><th>received</th>"
+        "<th>dropped</th><th>retransmit</th><th>first DATA reception</th>"
+        "</tr>",
+    ]
+    for node in sorted(set(per_node) | set(first_rx)):
+        c = per_node[node]
+        marker = f"t={first_rx[node]:g}" if node in first_rx else "—"
+        parts.append(
+            "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td>"
+            "<td>%s</td></tr>"
+            % (
+                _esc(node), c["sent"], c["received"], c["dropped"],
+                c["retransmit"], _esc(marker),
+            )
+        )
+    parts.append("</table>")
+    return parts
 
 
 def _stage_bars(stage_seconds: Mapping[str, float]) -> str:
@@ -204,6 +312,8 @@ def render_html(
                 f"<td>{n}</td><td>{cost:.6g}</td></tr>"
             )
         parts.append("</table>")
+
+    parts.extend(_message_section(records))
 
     if summary is not None and summary.fields.get("stage_seconds"):
         parts.append("<h2>Stage timing</h2>")

@@ -129,9 +129,15 @@ def run_online(
                     p_fail = tveg.failure(carrier, other, t, cost)
                     ok = rng.random() >= p_fail
                     if recording:
+                        # carrier/peer/success are the historical names;
+                        # msg/src/dst/outcome mirror the protosim's msg_*
+                        # events so one ledger filter reads both engines
+                        # (repro.obs.report.message_rows).
                         led.emit(
                             obs.EV_ONLINE_ATTEMPT, t=t, carrier=carrier,
                             peer=other, cost=cost, success=ok,
+                            msg="data", src=carrier, dst=other,
+                            outcome="received" if ok else "dropped",
                         )
                     if ok:
                         successes += 1

@@ -1,0 +1,63 @@
+"""Protocol-level live simulation: execute plans as per-node processes.
+
+The analytic simulator (:mod:`repro.sim`) fires whole schedule rounds
+against ED-function coin flips — a :class:`~repro.api.BroadcastPlan` is
+validated *statistically*, never exercised as actual node behavior.  This
+package closes that gap with a deterministic discrete-event **protocol**
+simulator: every node of the TVEG becomes a message-passing process with a
+neighbor table maintained from the contact windows, a bounded transmit
+queue, a local clock offset, and its own seeded RNG stream; the
+:class:`~repro.protosim.executor.PlanExecutor` drives each node to follow
+its plan rows as *local* behavior — broadcast a DATA frame at the row's
+allocated cost, collect ACKs, retransmit with backoff when the budget
+allows — rather than as a global oracle.
+
+Three layers:
+
+* :func:`execute_plan` / :func:`execute_schedule` — one protocol run of a
+  plan, returning a :class:`ProtocolResult` (informed set, per-node energy
+  actually spent including retransmissions and ACK overhead, message
+  counts);
+* :func:`run_protocol_trials` — seeded Monte-Carlo over independent runs,
+  bit-identical for any worker count (same
+  :func:`repro.parallel.derive_seeds` discipline as the analytic runner);
+* :func:`check_analytic_parity` — the cross-validation harness: on a
+  lossless :class:`~repro.channels.StaticChannel` with zero clock offsets
+  and no retransmit budget, a protocol run informs exactly the analytic
+  simulator's node set with identical per-node energy
+  (:class:`ProtocolConfig.parity` is that configuration).
+
+Runs tagged through the obs ledger emit one ``msg_sent`` /
+``msg_received`` / ``msg_dropped`` / ``msg_retransmit`` event per frame,
+which ``repro report`` renders as a per-message timeline.  See
+:doc:`docs/PROTOCOL.md` for the event model and determinism contract.
+"""
+
+from .crossval import ParityReport, check_analytic_parity
+from .executor import (
+    PlanExecutor,
+    ProtocolConfig,
+    ProtocolResult,
+    execute_plan,
+    execute_schedule,
+)
+from .messages import MSG_ACK, MSG_DATA, MSG_HELLO, MessageCounts
+from .node import NodeProcess
+from .runner import ProtocolSummary, run_protocol_trials
+
+__all__ = [
+    "MSG_ACK",
+    "MSG_DATA",
+    "MSG_HELLO",
+    "MessageCounts",
+    "NodeProcess",
+    "ParityReport",
+    "PlanExecutor",
+    "ProtocolConfig",
+    "ProtocolResult",
+    "ProtocolSummary",
+    "check_analytic_parity",
+    "execute_plan",
+    "execute_schedule",
+    "run_protocol_trials",
+]

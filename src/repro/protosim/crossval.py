@@ -1,0 +1,163 @@
+"""Cross-validation of the protocol simulator against the analytic one.
+
+On a lossless non-fading channel the analytic executor is fully
+deterministic (every ``φ_t(w)`` is 0 or 1), so a protocol run under
+:meth:`~repro.protosim.executor.ProtocolConfig.parity` — no
+retransmissions, no ACK traffic, zero clock offsets, free HELLOs — must
+reproduce it *exactly*: identical informed node set, identical reception
+instants, and bit-identical per-node energy (both engines sum each
+relay's row costs in the same time-sorted order, so even the float
+rounding agrees).
+
+:func:`check_analytic_parity` runs both engines on the same inputs and
+returns a :class:`ParityReport`; the analytic side's per-node energy is
+captured by temporarily swapping in a private recording
+:class:`~repro.obs.ledger.Ledger` and summing its ``energy_debited``
+events (context ``"sim"``), which keeps the comparison independent of
+the caller's ledger state.  A fading channel has no such guarantee —
+passing one raises unless ``allow_fading=True`` (useful only to inspect
+how far apart the engines drift statistically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+from .. import obs
+from ..errors import GraphModelError
+from ..obs.ledger import Ledger
+from ..schedule.schedule import Schedule
+from ..sim.simulator import simulate_schedule
+from ..tveg.graph import TVEG
+from .executor import ProtocolConfig, ProtocolResult, execute_schedule
+
+__all__ = ["ParityReport", "check_analytic_parity"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ParityReport:
+    """Field-by-field comparison of one protocol run vs the analytic run."""
+
+    #: every compared aspect agreed exactly
+    ok: bool
+    #: informed node sets agree
+    informed_match: bool
+    #: per-node radiated energy agrees bit-for-bit
+    energy_match: bool
+    #: per-node reception instants agree exactly
+    reception_match: bool
+    #: the protocol run's full result (for further inspection)
+    protocol: ProtocolResult
+    #: analytic informed set
+    analytic_informed: FrozenSet[Node]
+    #: analytic per-node energy (nonzero entries only)
+    analytic_energy: Tuple[Tuple[Node, float], ...]
+    #: human-readable mismatch descriptions (empty when ``ok``)
+    mismatches: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "ok" if self.ok else f"MISMATCH({len(self.mismatches)})"
+        return (
+            f"ParityReport({verdict}, informed="
+            f"{len(self.analytic_informed)}/{self.protocol.num_nodes})"
+        )
+
+
+def _analytic_node_energy(
+    tveg: TVEG, schedule: Schedule, source: Node
+) -> Tuple[Dict[Node, float], FrozenSet[Node], Dict[Node, float]]:
+    """Analytic per-node energy, informed set, and reception times.
+
+    The analytic simulator only reports *total* energy; the per-relay
+    split is recovered from its ``energy_debited`` ledger events, summed
+    in emission order — the same order the simulator added the floats —
+    so the recovered sums are the exact values a per-node accumulator
+    would have produced.
+    """
+    private = Ledger()
+    old = obs.set_ledger(private)
+    try:
+        outcome = simulate_schedule(tveg, schedule, source, seed=0)
+    finally:
+        obs.set_ledger(old)
+    energy: Dict[Node, float] = {}
+    for ev in private.events():
+        if ev.type == obs.EV_ENERGY_DEBITED and ev.get("context") == "sim":
+            relay = ev.get("relay")
+            energy[relay] = energy.get(relay, 0.0) + ev.get("cost")
+    return energy, outcome.received, dict(outcome.reception_times)
+
+
+def check_analytic_parity(
+    tveg: TVEG,
+    schedule: Schedule,
+    source: Node,
+    deadline: Optional[float] = None,
+    config: Optional[ProtocolConfig] = None,
+    seed: int = 0,
+    allow_fading: bool = False,
+) -> ParityReport:
+    """Run both engines on ``(tveg, schedule, source)`` and compare.
+
+    ``config`` defaults to :meth:`ProtocolConfig.parity`.  ``seed`` is
+    irrelevant on a lossless channel (no randomness is consumed) but kept
+    explicit so the report itself is reproducible under ``allow_fading``.
+    """
+    if tveg.is_fading and not allow_fading:
+        raise GraphModelError(
+            "analytic parity is only guaranteed on non-fading channels; "
+            "pass allow_fading=True to compare statistically anyway"
+        )
+    cfg = config if config is not None else ProtocolConfig.parity()
+    proto = execute_schedule(
+        tveg, schedule, source, deadline, seed=seed, config=cfg
+    )
+    ana_energy, ana_informed, ana_reception = _analytic_node_energy(
+        tveg, schedule, source
+    )
+
+    mismatches = []
+    informed_match = proto.informed == ana_informed
+    if not informed_match:
+        only_p = sorted(map(repr, proto.informed - ana_informed))
+        only_a = sorted(map(repr, ana_informed - proto.informed))
+        mismatches.append(
+            f"informed sets differ: protocol-only={only_p}, "
+            f"analytic-only={only_a}"
+        )
+
+    proto_energy = {n: e for n, e in proto.node_energy if e != 0.0}
+    energy_match = proto_energy == ana_energy
+    if not energy_match:
+        for n in sorted(set(proto_energy) | set(ana_energy), key=repr):
+            pe, ae = proto_energy.get(n, 0.0), ana_energy.get(n, 0.0)
+            if pe != ae:
+                mismatches.append(
+                    f"energy of {n!r}: protocol={pe!r} analytic={ae!r}"
+                )
+
+    proto_reception = dict(proto.reception_times)
+    reception_match = proto_reception == ana_reception
+    if not reception_match:
+        for n in sorted(set(proto_reception) | set(ana_reception), key=repr):
+            pt = proto_reception.get(n)
+            at = ana_reception.get(n)
+            if pt != at:
+                mismatches.append(
+                    f"reception of {n!r}: protocol={pt!r} analytic={at!r}"
+                )
+
+    ok = informed_match and energy_match and reception_match
+    return ParityReport(
+        ok=ok,
+        informed_match=informed_match,
+        energy_match=energy_match,
+        reception_match=reception_match,
+        protocol=proto,
+        analytic_informed=ana_informed,
+        analytic_energy=tuple(sorted(ana_energy.items(), key=lambda kv: repr(kv[0]))),
+        mismatches=tuple(mismatches),
+    )

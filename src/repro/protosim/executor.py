@@ -1,0 +1,624 @@
+"""The protocol event loop: one run of a plan as per-node behavior.
+
+The executor turns a :class:`~repro.schedule.schedule.Schedule` into
+*local* node behavior and plays it on a totally ordered discrete-event
+heap.  Five event kinds exist — contact ``down`` / ``up`` (neighbor-table
+maintenance plus HELLO beacons), ``tx`` (a plan row coming due on its
+relay's local clock), ``drain`` (the transmit queue releasing a frame),
+and ``retx`` (a retransmission attempt).  Heap entries are
+``(time, priority, seq)``-ordered with ``down < up < send`` at equal
+instants, so half-open contact intervals resolve correctly and every
+frame sees an up-to-date neighbor table; ``seq`` is a monotone counter,
+which makes the whole run a total order — replaying the same seed replays
+the identical event sequence.
+
+**Parity with the analytic simulator** (:func:`repro.sim.simulate_schedule`)
+is engineered, not accidental:
+
+* Receptions are processed *inline* at the transmit instant ``t`` — a
+  receiver is informed at ``t`` (its recorded reception time is
+  ``t + τ``), exactly the analytic ``received.add(v)`` /
+  ``reception[v] = t + τ`` pair.
+* A plan row that comes due while its relay is uninformed is parked under
+  its exact fire instant; if the relay becomes informed *at that same
+  instant* the row is re-armed (the analytic same-timestamp causal
+  fixpoint), otherwise it stays silent forever (the analytic abandonment
+  of never-enabled rows in a timestamp group).
+* Loss draws short-circuit at ``p ≤ 0`` and ``p ≥ 1`` without consuming
+  randomness, so a lossless :class:`~repro.channels.StaticChannel` run
+  draws nothing and its outcome is seed-independent.
+
+Under :meth:`ProtocolConfig.parity` (no retries, no ACKs, zero offsets,
+zero-cost HELLOs, empty-queue service) those three properties make the
+informed set, per-node energy, and reception times *bit-identical* to the
+analytic simulator on any non-fading channel —
+:mod:`repro.protosim.crossval` asserts this.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..core.rng import SeedLike
+from ..errors import ScheduleError
+from ..schedule.schedule import Schedule, Transmission
+from ..tveg.graph import TVEG
+from .messages import MSG_ACK, MSG_DATA, MSG_HELLO, MessageCounts
+from .node import NodeProcess
+
+__all__ = [
+    "PlanExecutor",
+    "ProtocolConfig",
+    "ProtocolResult",
+    "execute_plan",
+    "execute_schedule",
+]
+
+Node = Hashable
+
+# Event priorities at equal instants: a contact that closes at t is already
+# gone when one that opens at t is added (half-open intervals), and every
+# frame sent at t sees the post-update neighbor table.
+_PRIO_DOWN = 0
+_PRIO_UP = 1
+_PRIO_SEND = 2
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Protocol knobs of one executor run.
+
+    The defaults describe a small but realistic protocol: ACK-driven
+    retransmissions with exponential backoff, a 16-frame transmit queue,
+    perfectly synchronized clocks, and free HELLO beacons.
+    :meth:`parity` is the degenerate configuration under which the
+    protocol run provably matches the analytic simulator.
+    """
+
+    #: retransmission attempts allowed per plan row (0 = single shot)
+    max_retries: int = 2
+    #: base retransmission delay; attempt ``a`` waits ``backoff · 2^a``
+    backoff: float = 5.0
+    #: receivers confirm DATA frames; retransmit only toward missing ACKs
+    ack: bool = True
+    #: transmit cost of one ACK (None = the link's backbone min-cost)
+    ack_cost: Optional[float] = None
+    #: transmit cost of one HELLO beacon at contact-up
+    hello_cost: float = 0.0
+    #: frames the transmit queue holds while the radio is busy
+    queue_capacity: int = 16
+    #: radio occupancy per DATA frame (0 = queue never binds)
+    service_time: float = 0.0
+    #: explicit per-node clock offsets (local = global + offset)
+    clock_offsets: Optional[Tuple[Tuple[Node, float], ...]] = None
+    #: draw offsets uniformly from ``[-jitter, +jitter]`` when no explicit
+    #: offsets are given (0 = perfectly synchronized clocks)
+    clock_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ScheduleError("max_retries must be >= 0")
+        if self.backoff <= 0:
+            raise ScheduleError("backoff must be > 0")
+        if self.hello_cost < 0:
+            raise ScheduleError("hello_cost must be >= 0")
+        if self.queue_capacity < 0:
+            raise ScheduleError("queue_capacity must be >= 0")
+        if self.service_time < 0:
+            raise ScheduleError("service_time must be >= 0")
+        if self.clock_jitter < 0:
+            raise ScheduleError("clock_jitter must be >= 0")
+        if self.ack_cost is not None and self.ack_cost < 0:
+            raise ScheduleError("ack_cost must be >= 0")
+        if self.clock_offsets is not None and not isinstance(
+            self.clock_offsets, tuple
+        ):
+            # Accept any mapping for ergonomics; store a canonical tuple so
+            # the config stays hashable and comparable.
+            items = dict(self.clock_offsets).items()
+            object.__setattr__(
+                self,
+                "clock_offsets",
+                tuple(sorted(((k, float(v)) for k, v in items),
+                             key=lambda kv: repr(kv[0]))),
+            )
+
+    @classmethod
+    def parity(cls) -> "ProtocolConfig":
+        """The configuration matching the analytic simulator exactly.
+
+        Single-shot transmissions (no retransmissions to add energy), no
+        ACK traffic, free HELLOs, zero clock offsets, and zero service
+        time (the queue never delays a frame).
+        """
+        return cls(
+            max_retries=0,
+            ack=False,
+            hello_cost=0.0,
+            service_time=0.0,
+            clock_jitter=0.0,
+        )
+
+    def offset_for(self, node: Node) -> Optional[float]:
+        """The explicit offset for ``node`` (None = not specified)."""
+        if self.clock_offsets is None:
+            return None
+        for k, v in self.clock_offsets:
+            if k == node:
+                return v
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Outcome of one protocol-level execution of a schedule.
+
+    A pure value object: every field is hashable and deterministic for a
+    given ``(tveg, schedule, source, config, seed)``, so two runs compare
+    with ``==`` — the byte-reproducibility tests rely on that.
+    """
+
+    #: nodes that decoded the packet (includes the source)
+    informed: FrozenSet[Node]
+    #: ``(node, global reception instant)``, sorted by (time, node order)
+    reception_times: Tuple[Tuple[Node, float], ...]
+    #: per-node energy actually radiated (every node, TVEG node order) —
+    #: DATA retransmissions and ACK/HELLO overhead included
+    node_energy: Tuple[Tuple[Node, float], ...]
+    #: run-level message tallies by kind and fate
+    counts: MessageCounts
+    #: nodes in the TVEG (denominator of :attr:`delivery_ratio`)
+    num_nodes: int
+    #: plan rows that never fired (relay uninformed at their instant)
+    silent_rows: int = 0
+
+    @property
+    def energy(self) -> float:
+        """Total energy radiated by all nodes."""
+        return float(sum(e for _, e in self.node_energy))
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of all nodes that decoded the packet."""
+        return len(self.informed) / self.num_nodes if self.num_nodes else 0.0
+
+    def reception_of(self, node: Node) -> Optional[float]:
+        """Global reception instant of ``node`` (None = never informed)."""
+        for n, t in self.reception_times:
+            if n == node:
+                return t
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProtocolResult(informed={len(self.informed)}/{self.num_nodes}, "
+            f"energy={self.energy:.4g}, {self.counts!r})"
+        )
+
+
+class _Frame:
+    """One DATA frame attempt travelling through queue/retx events."""
+
+    __slots__ = ("proc", "row", "attempt")
+
+    def __init__(self, proc: NodeProcess, row: Transmission, attempt: int):
+        self.proc = proc
+        self.row = row
+        self.attempt = attempt
+
+
+class PlanExecutor:
+    """Drives one protocol run of ``schedule`` on ``tveg`` from ``source``.
+
+    Construct once, call :meth:`run` per trial — the executor itself holds
+    only immutable inputs; all mutable state lives in the per-run
+    :class:`~repro.protosim.node.NodeProcess` table, so one executor can
+    be reused across seeds.
+    """
+
+    def __init__(
+        self,
+        tveg: TVEG,
+        schedule: Schedule,
+        source: Node,
+        deadline: Optional[float] = None,
+        config: Optional[ProtocolConfig] = None,
+    ) -> None:
+        if source not in tveg.nodes:
+            raise ScheduleError(f"source {source!r} is not a TVEG node")
+        self.tveg = tveg
+        self.schedule = schedule
+        self.source = source
+        self.deadline = float(deadline) if deadline is not None else None
+        self.config = config if config is not None else ProtocolConfig()
+        self._node_index: Dict[Node, int] = {
+            n: i for i, n in enumerate(tveg.nodes)
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self, seed: SeedLike = None, trial_id: Optional[int] = None
+    ) -> ProtocolResult:
+        """Execute one seeded protocol trial; see the module docstring."""
+        state = _RunState(self, seed, trial_id)
+        return state.execute()
+
+
+class _RunState:
+    """All mutable state of one :meth:`PlanExecutor.run` invocation."""
+
+    def __init__(
+        self,
+        ex: PlanExecutor,
+        seed: SeedLike,
+        trial_id: Optional[int],
+    ) -> None:
+        self.ex = ex
+        self.tveg = ex.tveg
+        self.cfg = ex.config
+        self.trial_id = trial_id
+        self.heap: List[tuple] = []
+        self.seq = 0
+        self.counts: Dict[str, int] = {
+            "hello_sent": 0, "data_sent": 0, "data_received": 0,
+            "data_dropped": 0, "ack_sent": 0, "ack_received": 0,
+            "ack_dropped": 0, "retransmits": 0, "queue_dropped": 0,
+        }
+        self.reception: Dict[Node, float] = {}
+        self.silent_rows = 0
+        # Ledger plumbing, hoisted once (the Monte-Carlo runner calls the
+        # executor in a tight loop with the ledger off).
+        self.led = obs.get_ledger()
+        self.recording = self.led.enabled
+
+        # --- seeded streams: one per node + one for clock offsets -------
+        entropy = self._entropy(seed)
+        children = np.random.SeedSequence(entropy).spawn(
+            self.tveg.num_nodes + 1
+        )
+        offsets_rng = np.random.default_rng(children[-1])
+
+        self.procs: Dict[Node, NodeProcess] = {}
+        for i, node in enumerate(self.tveg.nodes):
+            off = self.cfg.offset_for(node)
+            if off is None:
+                off = (
+                    float(offsets_rng.uniform(
+                        -self.cfg.clock_jitter, self.cfg.clock_jitter
+                    ))
+                    if self.cfg.clock_jitter > 0
+                    else 0.0
+                )
+            self.procs[node] = NodeProcess(
+                node, i, off, np.random.default_rng(children[i])
+            )
+
+        src = self.procs[self.ex.source]
+        src.informed_at = 0.0
+        self.reception[src.node] = 0.0
+
+        # --- event horizon: cover the deadline and every row's local fire
+        # instant (offsets can push a row past the nominal latency) -------
+        fire_times = [
+            max(0.0, row.time - self.procs[row.relay].offset)
+            for row in self.ex.schedule
+        ]
+        horizon = max(
+            [self.ex.deadline or 0.0, self.tveg.tau] + fire_times
+        )
+        self.horizon = horizon
+
+        # --- contact windows → neighbor-table events ---------------------
+        for u, v, start, end in self.tveg.tvg.contacts():
+            if end <= 0.0 or start > horizon:
+                continue
+            self._push(max(0.0, start), _PRIO_UP, "up", (u, v))
+            if end <= horizon:
+                self._push(end, _PRIO_DOWN, "down", (u, v))
+
+        # --- plan rows come due on each relay's local clock --------------
+        for row, fire_t in zip(self.ex.schedule, fire_times):
+            self._push(fire_t, _PRIO_SEND, "tx", row)
+
+    @staticmethod
+    def _entropy(seed: SeedLike) -> int:
+        """A SeedSequence entropy int from any accepted seed form."""
+        if isinstance(seed, (int, np.integer)):
+            return int(seed)
+        if isinstance(seed, np.random.Generator):
+            return int(seed.integers(0, 2**63 - 1))
+        if seed is None:
+            return int(np.random.default_rng().integers(0, 2**63 - 1))
+        raise ScheduleError(f"unsupported seed {seed!r}")
+
+    # ------------------------------------------------------------------
+    def _push(self, t: float, prio: int, kind: str, payload) -> None:
+        heapq.heappush(self.heap, (t, prio, self.seq, kind, payload))
+        self.seq += 1
+
+    def _emit(self, ev_type: str, t: float, **fields) -> None:
+        if self.recording:
+            self.led.emit(ev_type, t=t, trial=self.trial_id, **fields)
+
+    # ------------------------------------------------------------------
+    def execute(self) -> ProtocolResult:
+        heap = self.heap
+        while heap:
+            t, _prio, _seq, kind, payload = heapq.heappop(heap)
+            if kind == "up":
+                self._contact_up(t, *payload)
+            elif kind == "down":
+                u, v = payload
+                self.procs[u].neighbors.discard(v)
+                self.procs[v].neighbors.discard(u)
+            elif kind == "tx":
+                self._row_due(t, payload)
+            elif kind == "drain":
+                frame = payload
+                frame.proc.queued -= 1
+                self._transmit(t, frame)
+            else:  # retx
+                self._enqueue(t, payload)
+        return self._result()
+
+    # ------------------------------------------------------------------
+    def _contact_up(self, t: float, u: Node, v: Node) -> None:
+        """A contact window opened: update tables, beacon HELLOs."""
+        pu, pv = self.procs[u], self.procs[v]
+        pu.neighbors.add(v)
+        pv.neighbors.add(u)
+        cost = self.cfg.hello_cost
+        for sender, peer in ((pu, v), (pv, u)):
+            sender.energy += cost
+            self.counts["hello_sent"] += 1
+            self._emit(
+                obs.EV_MSG_SENT, t, msg=MSG_HELLO, src=sender.node,
+                dst=peer, cost=cost, outcome="sent",
+            )
+
+    # ------------------------------------------------------------------
+    def _row_due(self, t: float, row: Transmission) -> None:
+        """A plan row reached its fire instant on the relay's clock."""
+        proc = self.procs[row.relay]
+        if proc.informed:
+            self._enqueue(t, _Frame(proc, row, 0))
+        else:
+            # Park under the exact instant: re-armed only if the relay is
+            # informed at this same t (the analytic causal fixpoint).
+            proc.deferred.setdefault(t, []).append(row)
+
+    def _rearm(self, proc: NodeProcess, t: float) -> None:
+        """Re-arm rows parked at exactly ``t`` on a freshly informed node."""
+        rows = proc.deferred.pop(t, None)
+        if rows:
+            for row in rows:
+                self._push(t, _PRIO_SEND, "tx", row)
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, t: float, frame: _Frame) -> None:
+        """Admit a DATA frame to the relay's (bounded) transmit queue."""
+        proc = frame.proc
+        if proc.busy_until <= t:
+            proc.busy_until = t + self.cfg.service_time
+            self._transmit(t, frame)
+            return
+        if proc.queued >= self.cfg.queue_capacity:
+            self.counts["data_dropped"] += 1
+            self.counts["queue_dropped"] += 1
+            self._emit(
+                obs.EV_MSG_DROPPED, t, msg=MSG_DATA, src=proc.node,
+                dst=None, cost=frame.row.cost, outcome="dropped",
+                reason="queue_full", attempt=frame.attempt,
+            )
+            return
+        release = proc.busy_until
+        proc.queued += 1
+        proc.busy_until = release + self.cfg.service_time
+        self._push(release, _PRIO_SEND, "drain", frame)
+
+    # ------------------------------------------------------------------
+    def _audience(self, proc: NodeProcess, t: float) -> List[NodeProcess]:
+        """Uninformed, *currently adjacent* table members, in node order.
+
+        The table is a superset of true adjacency (contact presence vs the
+        windowed ``ρ_τ`` predicate), so each candidate is re-checked
+        against the TVEG — this is exactly the analytic audience.
+        """
+        tveg = self.tveg
+        u = proc.node
+        out = [
+            self.procs[v]
+            for v in sorted(proc.neighbors, key=self._node_key)
+            if not self.procs[v].informed and tveg.adjacent(u, v, t)
+        ]
+        return out
+
+    def _node_key(self, node: Node) -> int:
+        return self.ex._node_index[node]
+
+    # ------------------------------------------------------------------
+    def _transmit(self, t: float, frame: _Frame) -> None:
+        """Put one DATA frame on the air; deliveries happen inline at t."""
+        proc, row = frame.proc, frame.row
+        cost = row.cost
+        tveg = self.tveg
+        audience = self._audience(proc, t)
+
+        proc.energy += cost
+        self.counts["data_sent"] += 1
+        if frame.attempt > 0:
+            self.counts["retransmits"] += 1
+            self._emit(
+                obs.EV_MSG_RETRANSMIT, t, msg=MSG_DATA, src=proc.node,
+                dst=None, cost=cost, outcome="retransmit",
+                attempt=frame.attempt,
+            )
+        self._emit(
+            obs.EV_MSG_SENT, t, msg=MSG_DATA, src=proc.node, dst=None,
+            cost=cost, outcome="sent", attempt=frame.attempt,
+        )
+
+        acked = 0
+        for rx in audience:
+            p_fail = tveg.failure(proc.node, rx.node, t, cost)
+            # Short-circuit the degenerate probabilities so deterministic
+            # channels consume no randomness (the parity contract).
+            if p_fail <= 0.0:
+                ok = True
+            elif p_fail >= 1.0:
+                ok = False
+            else:
+                ok = rx.rng.random() >= p_fail
+            if ok:
+                self.counts["data_received"] += 1
+                rx.informed_at = t
+                self.reception[rx.node] = t + tveg.tau
+                self._emit(
+                    obs.EV_MSG_RECEIVED, t + tveg.tau, msg=MSG_DATA,
+                    src=proc.node, dst=rx.node, cost=cost,
+                    outcome="received", attempt=frame.attempt,
+                )
+                self._rearm(rx, t)
+                if self.cfg.ack:
+                    acked += self._send_ack(t, rx, proc)
+            else:
+                self.counts["data_dropped"] += 1
+                self._emit(
+                    obs.EV_MSG_DROPPED, t, msg=MSG_DATA, src=proc.node,
+                    dst=rx.node, cost=cost, outcome="dropped",
+                    reason="loss", attempt=frame.attempt,
+                )
+
+        self._maybe_retransmit(t, frame, audience, acked)
+
+    def _send_ack(self, t: float, rx: NodeProcess, to: NodeProcess) -> int:
+        """Unicast an ACK back to the DATA sender; 1 if it decoded."""
+        tveg = self.tveg
+        w = self.cfg.ack_cost
+        if w is None:
+            w = tveg.min_cost(rx.node, to.node, t)
+            if not math.isfinite(w):  # pragma: no cover - defensive
+                w = 0.0
+        rx.energy += w
+        self.counts["ack_sent"] += 1
+        self._emit(
+            obs.EV_MSG_SENT, t, msg=MSG_ACK, src=rx.node, dst=to.node,
+            cost=w, outcome="sent",
+        )
+        p_fail = tveg.failure(rx.node, to.node, t, w)
+        if p_fail <= 0.0:
+            ok = True
+        elif p_fail >= 1.0:
+            ok = False
+        else:
+            ok = to.rng.random() >= p_fail
+        if ok:
+            self.counts["ack_received"] += 1
+            self._emit(
+                obs.EV_MSG_RECEIVED, t, msg=MSG_ACK, src=rx.node,
+                dst=to.node, cost=w, outcome="received",
+            )
+            return 1
+        self.counts["ack_dropped"] += 1
+        self._emit(
+            obs.EV_MSG_DROPPED, t, msg=MSG_ACK, src=rx.node, dst=to.node,
+            cost=w, outcome="dropped", reason="loss",
+        )
+        return 0
+
+    def _maybe_retransmit(
+        self, t: float, frame: _Frame, audience: List[NodeProcess], acked: int
+    ) -> None:
+        """Schedule a repeat of this frame if the policy calls for one."""
+        cfg = self.cfg
+        if frame.attempt >= cfg.max_retries:
+            return
+        if cfg.ack:
+            # ACK-driven: repeat only while some addressed receiver has
+            # not confirmed (an audience of zero needs no repeat).
+            if not audience or acked >= len(audience):
+                return
+        elif not audience:
+            # Blind mode still skips pointless repeats into silence.
+            return
+        rt = t + cfg.backoff * (2.0 ** frame.attempt)
+        if rt > self.horizon:
+            return
+        self._push(
+            rt, _PRIO_SEND, "retx",
+            _Frame(frame.proc, frame.row, frame.attempt + 1),
+        )
+
+    # ------------------------------------------------------------------
+    def _result(self) -> ProtocolResult:
+        idx = self.ex._node_index
+        self.silent_rows = sum(
+            len(rows) for p in self.procs.values() for rows in p.deferred.values()
+        )
+        informed = frozenset(
+            n for n, p in self.procs.items() if p.informed
+        )
+        reception = tuple(
+            sorted(self.reception.items(), key=lambda kv: (kv[1], idx[kv[0]]))
+        )
+        energy = tuple(
+            (n, self.procs[n].energy) for n in self.tveg.nodes
+        )
+        return ProtocolResult(
+            informed=informed,
+            reception_times=reception,
+            node_energy=energy,
+            counts=MessageCounts(**self.counts),
+            num_nodes=self.tveg.num_nodes,
+            silent_rows=self.silent_rows,
+        )
+
+
+# ----------------------------------------------------------------------
+def execute_schedule(
+    tveg: TVEG,
+    schedule: Schedule,
+    source: Node,
+    deadline: Optional[float] = None,
+    seed: SeedLike = None,
+    config: Optional[ProtocolConfig] = None,
+    trial_id: Optional[int] = None,
+) -> ProtocolResult:
+    """One protocol-level execution of ``schedule`` on ``tveg``.
+
+    The per-schedule counterpart of :func:`repro.sim.simulate_schedule`:
+    same inputs, but the schedule runs as per-node message passing under
+    ``config`` (default :class:`ProtocolConfig`) instead of as an
+    analytic round fixpoint.
+    """
+    return PlanExecutor(tveg, schedule, source, deadline, config).run(
+        seed, trial_id
+    )
+
+
+def execute_plan(
+    plan,
+    tveg: Optional[TVEG] = None,
+    seed: SeedLike = None,
+    config: Optional[ProtocolConfig] = None,
+    trial_id: Optional[int] = None,
+) -> ProtocolResult:
+    """Execute a :class:`~repro.api.BroadcastPlan` at protocol level.
+
+    ``plan`` is duck-typed: anything with ``schedule`` / ``tveg`` /
+    ``source`` / ``deadline`` attributes works.  Pass ``tveg=`` to run
+    the plan on a *different* graph than it was computed on — e.g. a
+    fading twin of the planning TVEG, the paper's Fig. 6 stress test at
+    protocol level.
+    """
+    graph = tveg if tveg is not None else plan.tveg
+    return execute_schedule(
+        graph, plan.schedule, plan.source, plan.deadline,
+        seed=seed, config=config, trial_id=trial_id,
+    )

@@ -1,0 +1,72 @@
+"""Message vocabulary and counters of the protocol simulator.
+
+Three frame kinds cover the whole protocol:
+
+``hello``
+    Neighbor-table maintenance beacon, sent when a contact window opens.
+    Carries no payload; its (configurable, default-zero) cost models the
+    discovery overhead the analytic pipeline ignores.
+``data``
+    One broadcast frame of the packet, sent by a relay following its plan
+    row at that row's allocated cost.  Loss is drawn per receiver from the
+    link's ED-function at that cost — the same ``φ_t(w)`` the analytic
+    simulator flips.
+``ack``
+    Unicast receipt confirmation from a receiver back to the DATA sender.
+    Only exists when :class:`~repro.protosim.executor.ProtocolConfig`
+    enables acknowledgements; drives the retransmission decision.
+
+:class:`MessageCounts` is the run-level tally — a frozen value object so
+:class:`~repro.protosim.executor.ProtocolResult` stays hashable and
+byte-comparable across runs (the determinism tests compare results with
+plain ``==``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MSG_ACK", "MSG_DATA", "MSG_HELLO", "MessageCounts"]
+
+#: neighbor-discovery beacon at contact-up
+MSG_HELLO = "hello"
+#: one broadcast frame of the packet (a plan row firing)
+MSG_DATA = "data"
+#: unicast receipt confirmation from receiver to DATA sender
+MSG_ACK = "ack"
+
+
+@dataclass(frozen=True)
+class MessageCounts:
+    """Per-run message tallies, by frame kind and fate.
+
+    ``data_received`` counts successful decode events (one per addressed
+    receiver per frame — frames address the currently uninformed
+    neighbors); ``data_dropped`` counts channel losses plus queue overflows
+    (``queue_dropped`` isolates the latter).  ``retransmits`` is the
+    number of DATA frames that were repeats of an earlier attempt —
+    included in ``data_sent`` as well.
+    """
+
+    hello_sent: int = 0
+    data_sent: int = 0
+    data_received: int = 0
+    data_dropped: int = 0
+    ack_sent: int = 0
+    ack_received: int = 0
+    ack_dropped: int = 0
+    retransmits: int = 0
+    queue_dropped: int = 0
+
+    @property
+    def total_sent(self) -> int:
+        """Every frame that actually hit the air, of any kind."""
+        return self.hello_sent + self.data_sent + self.ack_sent
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MessageCounts(hello={self.hello_sent}, "
+            f"data={self.data_sent}/{self.data_received}rx/"
+            f"{self.data_dropped}drop, ack={self.ack_sent}, "
+            f"retx={self.retransmits})"
+        )

@@ -1,0 +1,88 @@
+"""Per-node process state of the protocol simulator.
+
+Each TVEG node becomes one :class:`NodeProcess`: a neighbor table kept
+current by contact-up/contact-down events, a local clock (global time plus
+a per-node offset), a bounded transmit queue modelled as a busy-until
+cursor plus a pending-slot counter, an informed flag with the reception
+instant, an energy meter, and a private RNG stream derived from the run's
+:class:`numpy.random.SeedSequence` — node ``i`` always draws from stream
+``i`` regardless of event interleaving, which is one half of the
+bit-reproducibility contract (the other half is the executor's totally
+ordered event heap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set
+
+import numpy as np
+
+__all__ = ["NodeProcess"]
+
+Node = Hashable
+
+
+class NodeProcess:
+    """Protocol-side state of one node; the executor drives transitions."""
+
+    __slots__ = (
+        "node",
+        "index",
+        "offset",
+        "rng",
+        "neighbors",
+        "informed_at",
+        "energy",
+        "busy_until",
+        "queued",
+        "deferred",
+    )
+
+    def __init__(
+        self,
+        node: Node,
+        index: int,
+        offset: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self.node = node
+        #: position in ``tveg.nodes`` — fixes iteration and tie-break order
+        self.index = index
+        #: local clock offset: local time = global time + offset
+        self.offset = float(offset)
+        self.rng = rng
+        #: nodes currently in contact (maintained by up/down events)
+        self.neighbors: Set[Node] = set()
+        #: global instant the packet was decoded (None = still uninformed)
+        self.informed_at: Optional[float] = None
+        #: energy actually radiated by this node (all frame kinds)
+        self.energy: float = 0.0
+        #: transmit queue: the radio is busy until this global instant
+        self.busy_until: float = 0.0
+        #: frames waiting in the transmit queue (bounded by the config)
+        self.queued: int = 0
+        #: plan rows whose fire instant passed while uninformed, keyed by
+        #: the global fire time — re-armed only if the node is informed at
+        #: exactly that instant (the analytic fixpoint), abandoned otherwise
+        self.deferred: Dict[float, List[object]] = {}
+
+    @property
+    def informed(self) -> bool:
+        return self.informed_at is not None
+
+    def local_time(self, t: float) -> float:
+        """This node's clock reading at global instant ``t``."""
+        return t + self.offset
+
+    def global_time(self, local: float) -> float:
+        """The global instant at which this node's clock reads ``local``."""
+        return local - self.offset
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            f"informed@{self.informed_at:g}" if self.informed else "uninformed"
+        )
+        return (
+            f"NodeProcess({self.node!r}, {state}, "
+            f"energy={self.energy:.3g}, nbrs={len(self.neighbors)})"
+        )

@@ -31,12 +31,13 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for cmd in ("generate", "stats", "schedule", "simulate",
-                    "experiment", "bench", "report"):
+                    "protosim", "experiment", "bench", "report"):
             args = {
                 "generate": [cmd, "x.dat"],
                 "stats": [cmd, "x.dat"],
                 "schedule": [cmd, "x.dat"],
                 "simulate": [cmd, "x.dat"],
+                "protosim": [cmd, "x.dat"],
                 "experiment": [cmd, "fig4"],
                 "bench": [cmd],
                 "report": [cmd, "run.ndjson"],
@@ -91,6 +92,49 @@ class TestCommands:
             "--delay", "100", "--source", "0", "--trials", "10",
         ])
         assert rc == 0
+
+    def test_simulate_protocol(self, trace_file, capsys):
+        rc = main([
+            "simulate", trace_file, "--algorithm", "fr-eedcb",
+            "--delay", "100", "--source", "0", "--trials", "20",
+            "--protocol",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delivery" in out
+        assert "data sent" in out
+
+    def test_protosim(self, trace_file, capsys):
+        rc = main([
+            "protosim", trace_file, "--algorithm", "fr-eedcb",
+            "--delay", "100", "--source", "0", "--trials", "20",
+            "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delivery" in out
+        assert "retransmission" in out
+
+    def test_protosim_check_parity(self, trace_file, capsys):
+        rc = main([
+            "protosim", trace_file, "--algorithm", "eedcb",
+            "--channel", "static", "--delay", "100", "--source", "0",
+            "--trials", "5", "--parity", "--check-parity",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ok (informed=" in out
+
+    def test_protosim_knobs(self, trace_file, capsys):
+        rc = main([
+            "protosim", trace_file, "--algorithm", "fr-eedcb",
+            "--delay", "100", "--source", "0", "--trials", "10",
+            "--max-retries", "1", "--backoff", "2.0", "--no-ack",
+            "--queue-capacity", "4", "--clock-jitter", "0.5",
+            "--seed", "2", "--workers", "2",
+        ])
+        assert rc == 0
+        assert "delivery" in capsys.readouterr().out
 
     def test_missing_trace_errors(self, capsys):
         rc = main(["stats", "/nonexistent/trace.dat"])

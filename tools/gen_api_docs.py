@@ -30,6 +30,7 @@ SUBPACKAGES = [
     "repro.allocation",
     "repro.algorithms",
     "repro.sim",
+    "repro.protosim",
     "repro.parallel",
     "repro.online",
     "repro.traces",
@@ -109,6 +110,39 @@ Resolution order for `compute="auto"` (the default): the
 python. Requesting `compute="numpy"` without numpy installed raises
 `SolverError` (install `repro[fast]`). Aliases are tolerated (`"np"`,
 `"vectorized"`, `"stdlib"`, `"pure"`).
+""",
+    "repro.protosim": """\
+# Protocol-level simulator
+
+`repro.protosim` executes a `BroadcastPlan` (or a bare schedule) as an
+actual message-passing protocol: a deterministic discrete-event loop in
+which every node is a process with its own neighbor table (built live
+from TVEG contact windows via HELLO beacons), clock offset, bounded
+transmit queue, and RNG stream. DATA frames are lost per-receiver
+according to the channel ED-function at the plan's allocated costs;
+ACK-driven retransmissions (retry cap + backoff) recover losses at
+extra energy cost:
+
+```python
+from repro import ProtocolConfig, execute_plan, run_protocol_trials
+
+res = execute_plan(plan, seed=1)
+print(res.delivery_ratio, res.energy, res.counts.retransmits)
+
+s = run_protocol_trials(plan.tveg, plan.schedule, plan.source,
+                        plan.deadline, num_trials=200, seed=1, workers=4)
+print(s.mean_delivery, s.delivery_ci95())
+```
+
+Determinism contract: a fixed seed reproduces the full event sequence
+byte for byte, for any worker count (trial seeds are derived up front
+with `repro.parallel.derive_seeds`). Cross-validation:
+`check_analytic_parity` proves that under
+`ProtocolConfig.parity()` (lossless static channel, zero offsets, no
+retransmissions) the protocol engine informs the **identical node set
+with identical per-node energy** as the analytic `repro.sim` simulator.
+See `docs/PROTOCOL.md` for the event model and the parity argument;
+`repro protosim trace.dat --check-parity` runs it from the CLI.
 """,
     "repro.service": """\
 # Planning service
